@@ -1,0 +1,84 @@
+// Command hetisplan runs the Parallelizer (§4.1) on a described cluster and
+// prints the chosen deployment: primary-worker stages (with TP/PP/layers)
+// and the Attention-worker pool.
+//
+// Usage:
+//
+//	hetisplan -model Llama-70B                      # paper cluster
+//	hetisplan -model OPT-30B -cluster 2xA100,4xT4   # custom, one host per type
+//	hetisplan -model Llama-13B -batch 128 -context 800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hetis"
+)
+
+func main() {
+	modelName := flag.String("model", "Llama-70B", "model preset name")
+	clusterSpec := flag.String("cluster", "paper", `"paper" or a list like "4xA100,4x3090,4xP100" (one host per entry)`)
+	batch := flag.Int("batch", 64, "expected concurrent decode batch (R)")
+	context := flag.Int("context", 600, "expected average context length")
+	prompt := flag.Int("prompt", 400, "expected average prompt length")
+	output := flag.Int("output", 240, "expected average output length")
+	delta := flag.Float64("delta", 0.05, "exclusion threshold Δ")
+	flag.Parse()
+
+	m, err := hetis.ModelByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	cluster, err := parseCluster(*clusterSpec)
+	if err != nil {
+		fatal(err)
+	}
+	wl := hetis.PlanWorkload{
+		DecodeBatch: *batch, AvgContext: *context,
+		PrefillBatch: 4, AvgPrompt: *prompt, AvgOutput: *output,
+	}
+	opts := hetis.DefaultPlanOptions()
+	opts.Delta = *delta
+
+	plan, err := hetis.SearchPlan(cluster, m, wl, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model:    %s\ncluster:  %s\n", m, cluster)
+	fmt.Printf("searched: %d configurations in %v\n\n", plan.Evaluated, plan.Elapsed)
+	fmt.Print(plan)
+	fmt.Printf("\nmodeled decode step: %.2f ms   prefill: %.2f ms   KV capacity: %.1f GB\n",
+		plan.DecodeStepCost*1e3, plan.PrefillCost*1e3, float64(plan.CacheCapacity)/1e9)
+}
+
+func parseCluster(spec string) (*hetis.Cluster, error) {
+	if spec == "paper" {
+		return hetis.PaperCluster(), nil
+	}
+	b := hetis.NewClusterBuilder(hetis.LAN100G)
+	for i, part := range strings.Split(spec, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), "x", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad cluster entry %q (want e.g. 4xA100)", part)
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad count in %q: %v", part, err)
+		}
+		spec, err := hetis.GPUByName(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		b.AddHost(fmt.Sprintf("host%d-%s", i, spec.Name), hetis.PCIe4x16, spec, n)
+	}
+	return b.Build()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hetisplan: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command hetisprofile runs the Profiler (§5.1) and prints the fitted
+// linear models per device: attention time τ = a·h + b·g + c and transfer
+// overhead ρ = γ·d + β, plus the held-out fit accuracy.
+//
+// Usage:
+//
+//	hetisprofile -model OPT-30B
+//	hetisprofile -model Llama-70B -primary 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetis"
+)
+
+func main() {
+	modelName := flag.String("model", "OPT-30B", "model preset name")
+	primary := flag.Int("primary", 0, "device id of the primary worker (network reference)")
+	flag.Parse()
+
+	m, err := hetis.ModelByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	cluster := hetis.PaperCluster()
+	prof, err := hetis.ProfileCluster(m, cluster, hetis.DeviceID(*primary))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("model %s on %s (primary device %d)\n\n", m, cluster, *primary)
+	fmt.Printf("%-10s %-14s %-14s %-12s %-10s %-14s %-12s %-8s\n",
+		"device", "a (s/head)", "b (s/byte)", "c (s)", "fit(%)", "γ (s/byte)", "β (s)", "net(%)")
+	for _, dev := range cluster.Devices {
+		am := prof.Attn[dev.ID]
+		nm := prof.Net[dev.ID]
+		fmt.Printf("%-10s %-14.3e %-14.3e %-12.3e %-10.1f %-14.3e %-12.3e %-8.1f\n",
+			dev.String(), am.A, am.B, am.C, prof.AttnAccuracy[dev.ID]*100,
+			nm.Gamma, nm.Beta, prof.NetAccuracy[dev.ID]*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hetisprofile: %v\n", err)
+	os.Exit(1)
+}

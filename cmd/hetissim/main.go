@@ -1,0 +1,51 @@
+// Command hetissim regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	hetissim -exp fig8            # one experiment
+//	hetissim -exp all -quick     # everything, at reduced scale
+//	hetissim -list               # show experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hetis"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	quick := flag.Bool("quick", false, "reduced-scale traces for fast runs")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, id := range hetis.ExperimentIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nerror: -exp is required (or use -list)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = hetis.ExperimentIDs()
+	}
+	opts := hetis.ExperimentOptions{Quick: *quick}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := hetis.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetissim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.2fs) ===\n%s\n", id, time.Since(start).Seconds(), tab)
+	}
+}

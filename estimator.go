@@ -1,0 +1,23 @@
+package hetis
+
+import (
+	"hetis/internal/perf"
+	"hetis/internal/profile"
+)
+
+// Estimator is the calibrated analytic cost model: module times on devices
+// and communication costs. It is the ground truth the Profiler fits.
+type Estimator = perf.Estimator
+
+// newEstimator builds the cost model for a model configuration.
+func newEstimator(m ModelConfig) *Estimator { return perf.New(m) }
+
+// NewEstimator exposes the cost model for custom studies (e.g. exploring a
+// hypothetical GPU before adding it to a cluster).
+func NewEstimator(m ModelConfig) *Estimator { return perf.New(m) }
+
+// ProfileCluster runs the §5.1 Profiler: it fits the linear attention-time
+// and transfer models for every device relative to the given primary.
+func ProfileCluster(m ModelConfig, cluster *Cluster, primary DeviceID) (*Profile, error) {
+	return profile.Run(perf.New(m), cluster, primary, profile.DefaultOptions())
+}

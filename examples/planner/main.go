@@ -1,0 +1,65 @@
+// Planner: explore how the §4.1 hierarchical search adapts deployments to
+// the model and the cluster shape — which GPUs serve dense modules, which
+// are demoted to attention workers, and what that does to KV capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetis"
+)
+
+func main() {
+	clusters := []struct {
+		name string
+		c    *hetis.Cluster
+	}{
+		{"paper (4xA100 + 4x3090 + 4xP100)", hetis.PaperCluster()},
+		{"budget (2xA100 + 8xT4)", mustCluster(
+			hetis.NewClusterBuilder(hetis.LAN100G).
+				AddHost("a100", hetis.NVLink3, hetis.A100, 2).
+				AddHost("t4-0", hetis.PCIe3x16, hetis.T4, 4).
+				AddHost("t4-1", hetis.PCIe3x16, hetis.T4, 4).
+				Build()),
+		},
+		{"mixed (2xH100 + 4xV100 + 4xL4)", mustCluster(
+			hetis.NewClusterBuilder(hetis.LAN100G).
+				AddHost("h100", hetis.NVLink3, hetis.H100, 2).
+				AddHost("v100", hetis.NVLink3, hetis.V100, 4).
+				AddHost("l4", hetis.PCIe4x16, hetis.L4, 4).
+				Build()),
+		},
+	}
+	models := []hetis.ModelConfig{hetis.Llama13B, hetis.OPT30B, hetis.Llama70B}
+
+	wl := hetis.PlanWorkload{DecodeBatch: 48, AvgContext: 600, PrefillBatch: 4, AvgPrompt: 400, AvgOutput: 240}
+	for _, cl := range clusters {
+		fmt.Printf("=== %s ===\n", cl.name)
+		for _, m := range models {
+			plan, err := hetis.SearchPlan(cl.c, m, wl, hetis.DefaultPlanOptions())
+			if err != nil {
+				fmt.Printf("  %-10s infeasible: %v\n", m.Name, err)
+				continue
+			}
+			fmt.Printf("  %-10s %d instance(s), %d attention workers, %5.0f GB cache, decode step %5.1f ms (searched %d configs in %v)\n",
+				m.Name, len(plan.Instances), plan.NumAttentionWorkers(),
+				float64(plan.CacheCapacity)/1e9, plan.DecodeStepCost*1e3,
+				plan.Evaluated, plan.Elapsed)
+			for _, in := range plan.Instances[:1] {
+				for _, st := range in.Stages {
+					fmt.Printf("             stage %-5s x%d  %2d layers  TP=%d PP=%d\n",
+						st.Spec.Name, len(st.Devices), st.Layers, st.TP, st.PP)
+				}
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func mustCluster(c *hetis.Cluster, err error) *hetis.Cluster {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,247 @@
+// Package hetis is a faithful, simulation-backed reproduction of
+// "Hetis: Serving LLMs in Heterogeneous GPU Clusters with Fine-grained and
+// Dynamic Parallelism" (SC '25). It provides:
+//
+//   - a calibrated analytic performance model of heterogeneous GPU clusters
+//     (A100 / RTX 3090 / P100 and more) and their interconnects;
+//   - the Hetis scheduling stack — the hierarchical primary-worker
+//     parallelism search (§4.1), dynamic head-wise Attention parallelism
+//     (§4.2), profiled linear cost models (§5.1), the online head
+//     dispatching LP (§5.2) and re-dispatching (§5.3), and head-granular
+//     KV-cache management (§6);
+//   - the Splitwise and HexGen baselines of the paper's evaluation;
+//   - iteration-level serving simulators that replay request traces and
+//     report TTFT, TPOT, and normalized latency;
+//   - every table and figure of §7 as a runnable experiment.
+//
+// The API below re-exports the stable surface of the internal packages.
+// Construct a cluster, pick a model, plan a deployment, build an engine,
+// and run a workload:
+//
+//	cluster := hetis.PaperCluster()
+//	cfg := hetis.DefaultEngineConfig(hetis.Llama13B, cluster)
+//	reqs := hetis.PoissonTrace(hetis.ShareGPT, 5, 60, 1)
+//	plan, _ := hetis.PlanDeployment(cfg, reqs)
+//	eng, _ := hetis.NewHetisEngine(cfg, plan)
+//	res, _ := eng.Run(reqs, 0)
+//	fmt.Println(res.Recorder.TTFTSummary().P95)
+package hetis
+
+import (
+	"hetis/internal/engine"
+	"hetis/internal/experiments"
+	"hetis/internal/hardware"
+	"hetis/internal/metrics"
+	"hetis/internal/model"
+	"hetis/internal/parallelizer"
+	"hetis/internal/profile"
+	"hetis/internal/workload"
+)
+
+// --- Hardware ----------------------------------------------------------------
+
+// GPUSpec describes one GPU model's capability.
+type GPUSpec = hardware.GPUSpec
+
+// LinkSpec is an alpha-beta communication channel.
+type LinkSpec = hardware.LinkSpec
+
+// Cluster is an immutable heterogeneous GPU cluster description.
+type Cluster = hardware.Cluster
+
+// ClusterBuilder assembles clusters host by host.
+type ClusterBuilder = hardware.Builder
+
+// DeviceID identifies a GPU within a cluster.
+type DeviceID = hardware.DeviceID
+
+// GPU presets (datasheet capabilities calibrated against the paper's
+// Table 1 where applicable).
+var (
+	A100    = hardware.A100
+	H100    = hardware.H100
+	V100    = hardware.V100
+	A40     = hardware.A40
+	RTX3090 = hardware.RTX3090
+	L4      = hardware.L4
+	T4      = hardware.T4
+	P100    = hardware.P100
+)
+
+// Interconnect presets.
+var (
+	LAN100G  = hardware.LAN100G
+	LAN25G   = hardware.LAN25G
+	PCIe3x16 = hardware.PCIe3x16
+	PCIe4x16 = hardware.PCIe4x16
+	NVLink3  = hardware.NVLink3
+)
+
+// NewClusterBuilder starts a cluster joined by the given inter-host link.
+func NewClusterBuilder(inter LinkSpec) *ClusterBuilder {
+	return hardware.NewBuilder(inter)
+}
+
+// PaperCluster reproduces the paper's evaluation cluster: 4×A100-80GB,
+// 2×2×RTX 3090, 4×P100 over 100 GbE.
+func PaperCluster() *Cluster { return hardware.PaperCluster() }
+
+// GPUByName resolves a preset GPU spec by name ("A100", "3090", "P100", …).
+func GPUByName(name string) (GPUSpec, error) { return hardware.SpecByName(name) }
+
+// --- Models -------------------------------------------------------------------
+
+// ModelConfig describes a transformer architecture.
+type ModelConfig = model.Config
+
+// Model presets used in the paper's evaluation.
+var (
+	OPT27B   = model.OPT27B
+	OPT13B   = model.OPT13B
+	OPT30B   = model.OPT30B
+	Llama13B = model.Llama13B
+	Llama70B = model.Llama70B
+)
+
+// ModelByName resolves a preset model ("Llama-70B", "OPT-30B", …).
+func ModelByName(name string) (ModelConfig, error) { return model.ByName(name) }
+
+// --- Workloads ----------------------------------------------------------------
+
+// Request is one inference request of a trace.
+type Request = workload.Request
+
+// Dataset is a token-length distribution standing in for a serving corpus.
+type Dataset = workload.LengthDist
+
+// RateSegment is one phase of a piecewise-constant arrival process.
+type RateSegment = workload.RateSegment
+
+// Dataset presets matching the paper's three applications.
+var (
+	ShareGPT  = workload.ShareGPT  // chatbot
+	HumanEval = workload.HumanEval // code completion
+	LongBench = workload.LongBench // summarization
+)
+
+// DatasetByName resolves "ShareGPT"/"SG", "HumanEval"/"HE", "LongBench"/"LB".
+func DatasetByName(name string) (Dataset, error) { return workload.ByName(name) }
+
+// PoissonTrace generates a trace at `rate` requests/second for `duration`
+// simulated seconds with the given seed.
+func PoissonTrace(d Dataset, rate, duration float64, seed int64) []Request {
+	return workload.Poisson(d, rate, duration, seed)
+}
+
+// PiecewiseTrace generates a trace whose rate steps through segments.
+func PiecewiseTrace(d Dataset, segments []RateSegment, seed int64) []Request {
+	return workload.PiecewiseRate(d, segments, seed)
+}
+
+// --- Planning -----------------------------------------------------------------
+
+// Plan is a deployment produced by the Parallelizer: primary-worker stages
+// plus the Attention-worker pool, per data-parallel instance.
+type Plan = parallelizer.Plan
+
+// PlanWorkload describes the request distribution R the Parallelizer
+// optimizes for.
+type PlanWorkload = parallelizer.Workload
+
+// PlanOptions tunes the hierarchical search (Δ, memory headroom, …).
+type PlanOptions = parallelizer.Options
+
+// DefaultPlanOptions mirrors the paper (Δ = 0.05).
+func DefaultPlanOptions() PlanOptions { return parallelizer.DefaultOptions() }
+
+// SearchPlan runs the §4.1 hierarchical search directly.
+func SearchPlan(cluster *Cluster, m ModelConfig, wl PlanWorkload, opts PlanOptions) (*Plan, error) {
+	return parallelizer.Search(cluster, newEstimator(m), wl, opts)
+}
+
+// PlanDeployment plans Hetis for a trace's aggregate statistics.
+func PlanDeployment(cfg EngineConfig, reqs []Request) (*Plan, error) {
+	return engine.PlanForWorkload(cfg, reqs)
+}
+
+// --- Engines ------------------------------------------------------------------
+
+// EngineConfig carries the runtime knobs shared by all serving engines.
+type EngineConfig = engine.Config
+
+// Result is what a serving run produces: the latency recorder, cache
+// statistics, per-module latencies and the event trace.
+type Result = engine.Result
+
+// Engine is a runnable serving-system simulation.
+type Engine = engine.Engine
+
+// HetisEngine is the paper's system.
+type HetisEngine = engine.Hetis
+
+// SplitwiseEngine is the phase-splitting baseline.
+type SplitwiseEngine = engine.Splitwise
+
+// HexGenEngine is the static parameter-splitting baseline.
+type HexGenEngine = engine.HexGen
+
+// Profile carries the fitted Eq. 3 / Eq. 4 models.
+type Profile = profile.Profile
+
+// DefaultEngineConfig returns the standard configuration for a model on a
+// cluster (Θ = 0.5, vLLM-like batching limits).
+func DefaultEngineConfig(m ModelConfig, cluster *Cluster) EngineConfig {
+	return engine.DefaultConfig(m, cluster)
+}
+
+// NewHetisEngine builds the Hetis engine from a deployment plan.
+func NewHetisEngine(cfg EngineConfig, plan *Plan) (*HetisEngine, error) {
+	return engine.NewHetis(cfg, plan)
+}
+
+// NewSplitwiseEngine builds the Splitwise baseline.
+func NewSplitwiseEngine(cfg EngineConfig) (*SplitwiseEngine, error) {
+	return engine.NewSplitwise(cfg)
+}
+
+// NewHexGenEngine builds the HexGen baseline.
+func NewHexGenEngine(cfg EngineConfig) (*HexGenEngine, error) {
+	return engine.NewHexGen(cfg)
+}
+
+// --- Metrics ------------------------------------------------------------------
+
+// Summary holds order statistics of a latency metric.
+type Summary = metrics.Summary
+
+// Table is an aligned text table, the output format of experiments.
+type Table = metrics.Table
+
+// --- Experiments ----------------------------------------------------------------
+
+// ExperimentOptions tunes experiment scale (Quick shrinks traces).
+type ExperimentOptions = experiments.Options
+
+// ExperimentIDs lists the registered paper experiments (table1, fig2, …).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables/figures by id.
+func RunExperiment(id string, opts ExperimentOptions) (*Table, error) {
+	return experiments.Run(id, opts)
+}
+
+// VLLMEngine is the homogeneous reference: vLLM-style tensor-parallel
+// serving on the cluster's top GPU tier only, ignoring low-end devices.
+type VLLMEngine = engine.VLLM
+
+// NewVLLMEngine builds the homogeneous reference engine.
+func NewVLLMEngine(cfg EngineConfig) (*VLLMEngine, error) {
+	return engine.NewVLLM(cfg)
+}
+
+// TruncateTrace clamps every request of a trace to a model context window
+// (what serving front-ends do to oversized prompts). Engines already apply
+// this internally; the helper is for workload analysis.
+func TruncateTrace(reqs []Request, maxSeqLen int) []Request {
+	return workload.Truncate(reqs, maxSeqLen)
+}

@@ -1,0 +1,105 @@
+package hetis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart, end to end.
+	cluster := PaperCluster()
+	cfg := DefaultEngineConfig(Llama13B, cluster)
+	reqs := PoissonTrace(ShareGPT, 4, 15, 1)
+	plan, err := PlanDeployment(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewHetisEngine(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(reqs) {
+		t.Fatalf("completed %d of %d", res.Completed, len(reqs))
+	}
+	if res.Recorder.TTFTSummary().P95 <= 0 {
+		t.Fatal("no TTFT recorded")
+	}
+}
+
+func TestBaselineConstructors(t *testing.T) {
+	cfg := DefaultEngineConfig(Llama13B, PaperCluster())
+	if _, err := NewSplitwiseEngine(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHexGenEngine(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	if _, err := GPUByName("a100"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ModelByName("llama-70b"); err != nil {
+		t.Error(err)
+	}
+	if _, err := DatasetByName("LB"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCustomClusterAndPlan(t *testing.T) {
+	cluster, err := NewClusterBuilder(LAN100G).
+		AddHost("big", NVLink3, A100, 2).
+		AddHost("small", PCIe3x16, T4, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := PlanWorkload{DecodeBatch: 16, AvgContext: 500, PrefillBatch: 2, AvgPrompt: 300, AvgOutput: 150}
+	plan, err := SearchPlan(cluster, Llama13B, wl, DefaultPlanOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Instances) == 0 {
+		t.Fatal("empty plan")
+	}
+}
+
+func TestProfileClusterFacade(t *testing.T) {
+	prof, err := ProfileCluster(OPT30B, PaperCluster(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Attn) != PaperCluster().NumDevices() {
+		t.Fatalf("profile covers %d devices", len(prof.Attn))
+	}
+}
+
+func TestExperimentRegistryViaFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	tab, err := RunExperiment("table1", ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"A100", "3090", "P100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEstimatorFacade(t *testing.T) {
+	est := NewEstimator(Llama70B)
+	if est.DenseLayerTime(A100, 64, 1) <= 0 {
+		t.Fatal("estimator returned non-positive time")
+	}
+}

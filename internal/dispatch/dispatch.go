@@ -1,0 +1,708 @@
+// Package dispatch implements Hetis' online head-wise dispatching (§5.2)
+// and re-dispatching (§5.3). It is the stateful placement manager for
+// decode-attention loads within one serving instance: for every request it
+// decides how many query heads each device computes, subject to per-device
+// KV-cache capacity, by solving the min–max linear program of Eq. 7 with
+// the profiled linear models of Eq. 3 and Eq. 4.
+//
+// Units: head counts are query heads per layer (placement is uniform
+// across layers); cache loads g and capacities M are bytes per layer.
+package dispatch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetis/internal/hardware"
+	"hetis/internal/lp"
+	"hetis/internal/model"
+	"hetis/internal/profile"
+)
+
+// RequestID identifies a request within the dispatcher.
+type RequestID = int64
+
+// Worker is one device participating in decode attention.
+type Worker struct {
+	ID   hardware.DeviceID
+	Attn profile.AttnModel
+	// Net is the transfer model to this worker from the stage's primary;
+	// ignored for Primary workers (no scatter needed).
+	Net profile.NetModel
+	// Primary marks devices that also run dense modules. Heads placed on
+	// the primary pay no network cost.
+	Primary bool
+	// CapacityBytes is the per-layer KV budget (r·Mᵢ/2 in the paper's
+	// notation, already converted to bytes by the caller).
+	CapacityBytes float64
+}
+
+// Dispatcher tracks the head placement of all in-flight requests.
+type Dispatcher struct {
+	cfg     model.Config
+	workers []Worker
+
+	h []float64 // heads per worker (per layer)
+	g []float64 // cache bytes per worker (per layer)
+
+	place  map[RequestID][]int // heads per worker index (multiples of r)
+	ctxLen map[RequestID]int
+
+	// perHeadTokenBytes converts (heads × tokens) to per-layer bytes:
+	// KVBytesPerTokenHeadGroup / r.
+	perHeadTokenBytes float64
+
+	// scatterBytesPerHead is Eq. 4's d(t) volume per head: (2+2/r) head
+	// activations.
+	scatterBytesPerHead float64
+
+	// policy selects LP or greedy placement for new requests.
+	policy Policy
+
+	// Dispatches and Redispatches count solver invocations.
+	Dispatches, Redispatches int
+}
+
+// New creates a dispatcher for the model over the given workers.
+func New(cfg model.Config, workers []Worker) (*Dispatcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("dispatch: no workers")
+	}
+	hasPrimary := false
+	for _, w := range workers {
+		if w.Primary {
+			hasPrimary = true
+		}
+		if w.CapacityBytes < 0 {
+			return nil, fmt.Errorf("dispatch: worker %d has negative capacity", w.ID)
+		}
+	}
+	if !hasPrimary {
+		return nil, fmt.Errorf("dispatch: at least one worker must be primary")
+	}
+	r := float64(cfg.GroupRatio())
+	return &Dispatcher{
+		cfg:                 cfg,
+		workers:             workers,
+		h:                   make([]float64, len(workers)),
+		g:                   make([]float64, len(workers)),
+		place:               make(map[RequestID][]int),
+		ctxLen:              make(map[RequestID]int),
+		perHeadTokenBytes:   float64(cfg.KVBytesPerTokenHeadGroup()) / r,
+		scatterBytesPerHead: (2 + 2/r) * float64(cfg.QHeadBytes()),
+	}, nil
+}
+
+// NumWorkers returns the worker count.
+func (d *Dispatcher) NumWorkers() int { return len(d.workers) }
+
+// Workers exposes the worker table (read-only).
+func (d *Dispatcher) Workers() []Worker { return d.workers }
+
+// Requests returns the tracked request IDs in ascending order.
+func (d *Dispatcher) Requests() []RequestID {
+	ids := make([]RequestID, 0, len(d.place))
+	for id := range d.place {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Heads returns h_i for worker index i.
+func (d *Dispatcher) Heads(i int) float64 { return d.h[i] }
+
+// CacheBytes returns g_i for worker index i.
+func (d *Dispatcher) CacheBytes(i int) float64 { return d.g[i] }
+
+// Placement returns a copy of request id's per-worker head counts, or nil.
+func (d *Dispatcher) Placement(id RequestID) []int {
+	p, ok := d.place[id]
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), p...)
+}
+
+// ContextLen returns the tracked context length of a request.
+func (d *Dispatcher) ContextLen(id RequestID) int { return d.ctxLen[id] }
+
+// NewRequest describes a request to place.
+type NewRequest struct {
+	ID         RequestID
+	ContextLen int // tokens already cached (prompt length at admission)
+}
+
+// fWorker evaluates f_i of Eq. 7 for worker i given extra heads and bytes.
+func (d *Dispatcher) fWorker(i int, extraHeads, extraBytes float64) float64 {
+	w := d.workers[i]
+	heads := d.h[i] + extraHeads
+	bytes := d.g[i] + extraBytes
+	if heads <= 0 {
+		return 0
+	}
+	t := w.Attn.A*heads + w.Attn.B*bytes + w.Attn.C
+	if !w.Primary {
+		t += w.Net.Gamma*d.scatterBytesPerHead*heads + w.Net.Beta
+	}
+	return t
+}
+
+// AttnStepTime is the current per-layer Attention-module time: the maximum
+// f_i over workers (the post-attention aggregation waits for the slowest).
+func (d *Dispatcher) AttnStepTime() float64 {
+	max := 0.0
+	for i := range d.workers {
+		if t := d.fWorker(i, 0, 0); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Dispatch places a batch of newly admitted requests (Eq. 7): it solves the
+// min–max LP over variables x_{j,i}, rounds head counts to whole head
+// groups, and commits the placement (Eq. 8). Already-dispatched requests
+// are never re-parallelized here.
+func (d *Dispatcher) Dispatch(reqs []NewRequest) (map[RequestID][]int, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	for _, r := range reqs {
+		if _, dup := d.place[r.ID]; dup {
+			return nil, fmt.Errorf("dispatch: request %d already placed", r.ID)
+		}
+		if r.ContextLen < 0 {
+			return nil, fmt.Errorf("dispatch: request %d has negative context", r.ID)
+		}
+	}
+	x, err := d.solvePlacement(reqs, nil)
+	if err != nil {
+		return nil, err
+	}
+	d.Dispatches++
+	out := make(map[RequestID][]int, len(reqs))
+	for j, r := range reqs {
+		d.commit(r.ID, r.ContextLen, x[j])
+		out[r.ID] = append([]int(nil), x[j]...)
+	}
+	return out, nil
+}
+
+// CanFit reports whether the new requests could possibly fit: total free
+// capacity across workers covers their aggregate cache demand.
+func (d *Dispatcher) CanFit(reqs []NewRequest) bool {
+	var need float64
+	for _, r := range reqs {
+		need += float64(d.cfg.Heads) * float64(r.ContextLen) * d.perHeadTokenBytes
+	}
+	var free float64
+	for i, w := range d.workers {
+		f := w.CapacityBytes - d.g[i]
+		if f > 0 {
+			free += f
+		}
+	}
+	return need <= free
+}
+
+// solvePlacement builds and solves the Eq. 7 LP for the given requests
+// (or runs the greedy heuristic under PolicyGreedy). When `exclude` is
+// non-nil it maps worker index → true for workers the requests must avoid
+// (failure injection).
+func (d *Dispatcher) solvePlacement(reqs []NewRequest, exclude map[int]bool) ([][]int, error) {
+	if d.policy == PolicyGreedy {
+		return d.greedyPlacement(reqs, exclude)
+	}
+	nW := len(d.workers)
+	nR := len(reqs)
+	H := float64(d.cfg.Heads)
+	r := d.cfg.GroupRatio()
+
+	// Variables: x[j][i] for j in reqs, i in workers, then z. Index
+	// helper: v(j,i) = j*nW + i; z = nR*nW.
+	nVars := nR*nW + 1
+	obj := make([]float64, nVars)
+	obj[nVars-1] = 1 // min z
+
+	prob := lp.New(nVars, obj)
+
+	// (7a) epigraph: f_i(x) − z ≤ 0 for every worker.
+	for i := range d.workers {
+		w := d.workers[i]
+		row := make([]float64, nVars)
+		slopeHeads := w.Attn.A
+		if !w.Primary {
+			slopeHeads += w.Net.Gamma * d.scatterBytesPerHead
+		}
+		for j, rq := range reqs {
+			perHead := slopeHeads + w.Attn.B*d.perHeadTokenBytes*float64(rq.ContextLen)
+			row[j*nW+i] = perHead
+		}
+		row[nVars-1] = -1
+		fixed := w.Attn.A*d.h[i] + w.Attn.B*d.g[i] + w.Attn.C
+		if !w.Primary {
+			fixed += w.Net.Gamma*d.scatterBytesPerHead*d.h[i] + w.Net.Beta
+		}
+		prob.AddConstraint(row, lp.LE, -fixed)
+	}
+
+	// (7b) capacity: g_i + Σ_j bytes(x_{j,i}) ≤ M_i.
+	for i := range d.workers {
+		row := make([]float64, nVars)
+		for j, rq := range reqs {
+			row[j*nW+i] = d.perHeadTokenBytes * float64(rq.ContextLen)
+		}
+		cap := d.workers[i].CapacityBytes - d.g[i]
+		if exclude[i] {
+			cap = 0
+		}
+		prob.AddConstraint(row, lp.LE, cap)
+	}
+
+	// (7c) head conservation: Σ_i x_{j,i} = H.
+	for j := range reqs {
+		row := make([]float64, nVars)
+		for i := 0; i < nW; i++ {
+			row[j*nW+i] = 1
+		}
+		prob.AddConstraint(row, lp.EQ, H)
+	}
+
+	res, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: placement LP: %w", err)
+	}
+
+	// Round each request independently to whole head groups by largest
+	// remainder, then repair any capacity violation by shifting groups to
+	// workers with slack.
+	out := make([][]int, nR)
+	used := append([]float64(nil), d.g...)
+	for j, rq := range reqs {
+		frac := make([]float64, nW)
+		for i := 0; i < nW; i++ {
+			frac[i] = res.X[j*nW+i] / float64(r)
+		}
+		groups := roundLargestRemainder(frac, d.cfg.KVHeads)
+		perGroupBytes := d.perHeadTokenBytes * float64(rq.ContextLen) * float64(r)
+		if err := repairCapacity(groups, used, d.capacities(exclude), perGroupBytes); err != nil {
+			return nil, fmt.Errorf("dispatch: request %d: %w", rq.ID, err)
+		}
+		x := make([]int, nW)
+		for i, gc := range groups {
+			x[i] = gc * r
+			used[i] += float64(gc) * perGroupBytes
+		}
+		out[j] = x
+	}
+	return out, nil
+}
+
+func (d *Dispatcher) capacities(exclude map[int]bool) []float64 {
+	caps := make([]float64, len(d.workers))
+	for i, w := range d.workers {
+		caps[i] = w.CapacityBytes
+		if exclude[i] {
+			caps[i] = 0
+		}
+	}
+	return caps
+}
+
+// roundLargestRemainder converts fractional group shares to integers
+// summing to total.
+func roundLargestRemainder(frac []float64, total int) []int {
+	n := len(frac)
+	out := make([]int, n)
+	type rem struct {
+		idx int
+		f   float64
+	}
+	sum := 0
+	rems := make([]rem, 0, n)
+	for i, f := range frac {
+		if f < 0 {
+			f = 0
+		}
+		out[i] = int(f)
+		sum += out[i]
+		rems = append(rems, rem{i, f - float64(out[i])})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].f != rems[b].f {
+			return rems[a].f > rems[b].f
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for k := 0; sum < total && k < len(rems); k++ {
+		out[rems[k].idx]++
+		sum++
+	}
+	// Over-allocation can only happen via float noise; trim from smallest
+	// remainders.
+	for k := len(rems) - 1; sum > total && k >= 0; k-- {
+		i := rems[k].idx
+		if out[i] > 0 {
+			out[i]--
+			sum--
+		}
+	}
+	return out
+}
+
+// repairCapacity shifts groups away from workers whose usage would exceed
+// capacity, to workers with slack (cheapest-first by current usage ratio).
+func repairCapacity(groups []int, used, caps []float64, perGroupBytes float64) error {
+	if perGroupBytes <= 0 {
+		return nil
+	}
+	for i := range groups {
+		for groups[i] > 0 && used[i]+float64(groups[i])*perGroupBytes > caps[i]+1e-6 {
+			// Find the worker with the most absolute slack.
+			best := -1
+			var bestSlack float64
+			for k := range groups {
+				if k == i {
+					continue
+				}
+				slack := caps[k] - used[k] - float64(groups[k])*perGroupBytes
+				if slack >= perGroupBytes && slack > bestSlack {
+					bestSlack = slack
+					best = k
+				}
+			}
+			if best == -1 {
+				return fmt.Errorf("no capacity to place head group (need %.0f bytes)", perGroupBytes)
+			}
+			groups[i]--
+			groups[best]++
+		}
+	}
+	return nil
+}
+
+// commit applies a placement and updates h, g (Eq. 8).
+func (d *Dispatcher) commit(id RequestID, ctxLen int, x []int) {
+	d.place[id] = x
+	d.ctxLen[id] = ctxLen
+	for i, heads := range x {
+		if heads == 0 {
+			continue
+		}
+		d.h[i] += float64(heads)
+		d.g[i] += float64(heads) * d.perHeadTokenBytes * float64(ctxLen)
+	}
+}
+
+// release removes a request's load without forgetting which devices to
+// subtract from.
+func (d *Dispatcher) release(id RequestID) {
+	x, ok := d.place[id]
+	if !ok {
+		return
+	}
+	l := float64(d.ctxLen[id])
+	for i, heads := range x {
+		if heads == 0 {
+			continue
+		}
+		d.h[i] -= float64(heads)
+		d.g[i] -= float64(heads) * d.perHeadTokenBytes * l
+		if d.h[i] < 1e-9 {
+			d.h[i] = 0
+		}
+		if d.g[i] < 1e-6 {
+			d.g[i] = 0
+		}
+	}
+	delete(d.place, id)
+	delete(d.ctxLen, id)
+}
+
+// Remove drops a finished (or evicted) request.
+func (d *Dispatcher) Remove(id RequestID) { d.release(id) }
+
+// ExtendContext grows a request by n freshly generated tokens, increasing
+// g on every device holding its heads. It reports the devices whose
+// capacity the growth overflows (empty when all fits).
+func (d *Dispatcher) ExtendContext(id RequestID, n int) ([]int, error) {
+	x, ok := d.place[id]
+	if !ok {
+		return nil, fmt.Errorf("dispatch: unknown request %d", id)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("dispatch: negative extension %d", n)
+	}
+	d.ctxLen[id] += n
+	var overflow []int
+	for i, heads := range x {
+		if heads == 0 {
+			continue
+		}
+		d.g[i] += float64(heads) * d.perHeadTokenBytes * float64(n)
+		if d.g[i] > d.workers[i].CapacityBytes+1e-6 {
+			overflow = append(overflow, i)
+		}
+	}
+	return overflow, nil
+}
+
+// idealBuckets bounds the LP size of IdealAttnTime: requests are grouped
+// into this many context-length buckets. Requests of equal context length
+// merge exactly (the LP is scale-invariant in the head-conservation
+// constraint), so bucketing only rounds lengths within a bucket.
+const idealBuckets = 24
+
+// IdealAttnTime solves the §5.3.1 relaxation: the best achievable max f_i
+// if ALL current requests could be re-placed freely, subject to the
+// aggregate capacity constraint. Returns 0 when idle.
+func (d *Dispatcher) IdealAttnTime() (float64, error) {
+	if len(d.place) == 0 {
+		return 0, nil
+	}
+	buckets := bucketByContext(d.Requests(), d.ctxLen, idealBuckets)
+
+	nW := len(d.workers)
+	nVars := len(buckets)*nW + 1
+	obj := make([]float64, nVars)
+	obj[nVars-1] = 1
+	prob := lp.New(nVars, obj)
+	for i := range d.workers {
+		w := d.workers[i]
+		row := make([]float64, nVars)
+		slopeHeads := w.Attn.A
+		if !w.Primary {
+			slopeHeads += w.Net.Gamma * d.scatterBytesPerHead
+		}
+		for j, b := range buckets {
+			row[j*nW+i] = slopeHeads + w.Attn.B*d.perHeadTokenBytes*b.ctx
+		}
+		row[nVars-1] = -1
+		fixed := w.Attn.C
+		if !w.Primary {
+			fixed += w.Net.Beta
+		}
+		prob.AddConstraint(row, lp.LE, -fixed)
+	}
+	// §5.3.1 uses one aggregate capacity constraint (Σ_i loads ≤ Σ_i M_i).
+	row := make([]float64, nVars)
+	var totalCap float64
+	for i := range d.workers {
+		totalCap += d.workers[i].CapacityBytes
+		for j, b := range buckets {
+			row[j*nW+i] += d.perHeadTokenBytes * b.ctx
+		}
+	}
+	prob.AddConstraint(row, lp.LE, totalCap)
+	for j, b := range buckets {
+		r := make([]float64, nVars)
+		for i := 0; i < nW; i++ {
+			r[j*nW+i] = 1
+		}
+		prob.AddConstraint(r, lp.EQ, float64(d.cfg.Heads)*float64(b.count))
+	}
+	res, err := prob.Solve()
+	if err != nil {
+		return 0, fmt.Errorf("dispatch: ideal LP: %w", err)
+	}
+	return res.X[nVars-1], nil
+}
+
+// bucket aggregates requests with similar context lengths for the ideal
+// relaxation.
+type bucket struct {
+	ctx   float64 // mean context length of the bucket
+	count int
+}
+
+// bucketByContext groups requests into at most n buckets of similar
+// context length.
+func bucketByContext(ids []RequestID, ctxLen map[RequestID]int, n int) []bucket {
+	lens := make([]int, len(ids))
+	for k, id := range ids {
+		lens[k] = ctxLen[id]
+	}
+	sort.Ints(lens)
+	if n > len(lens) {
+		n = len(lens)
+	}
+	out := make([]bucket, 0, n)
+	per := (len(lens) + n - 1) / n
+	for start := 0; start < len(lens); start += per {
+		end := start + per
+		if end > len(lens) {
+			end = len(lens)
+		}
+		sum := 0
+		for _, l := range lens[start:end] {
+			sum += l
+		}
+		out = append(out, bucket{ctx: float64(sum) / float64(end-start), count: end - start})
+	}
+	return out
+}
+
+// Redispatch is the outcome of one §5.3 rebalancing action.
+type Redispatch struct {
+	Request RequestID
+	Old     []int // heads per worker before
+	New     []int // heads per worker after
+	// MovedHeads is the number of heads that changed device.
+	MovedHeads int
+}
+
+// RebalanceCompute implements §5.3.1: if the current Attention time exceeds
+// the ideal by more than theta (fractional, default 0.5), re-dispatch the
+// single request contributing most to the bottleneck device. Requests in
+// `frozen` are skipped (the engine freezes recently migrated requests to
+// damp ping-pong, the role of the paper's Θ stop condition). Returns nil
+// when no action is needed.
+func (d *Dispatcher) RebalanceCompute(theta float64, frozen map[RequestID]bool) (*Redispatch, error) {
+	if len(d.place) == 0 {
+		return nil, nil
+	}
+	ideal, err := d.IdealAttnTime()
+	if err != nil {
+		return nil, err
+	}
+	current := d.AttnStepTime()
+	if ideal <= 0 || current <= ideal*(1+theta) {
+		return nil, nil
+	}
+	// Bottleneck device.
+	bott := 0
+	maxT := -1.0
+	for i := range d.workers {
+		if t := d.fWorker(i, 0, 0); t > maxT {
+			maxT = t
+			bott = i
+		}
+	}
+	// Request with the largest contribution to the bottleneck: heads ×
+	// per-head cost + bytes × per-byte cost. Iterate in ID order so ties
+	// resolve deterministically.
+	var victim RequestID = -1
+	var maxContrib float64
+	for _, id := range d.Requests() {
+		if frozen[id] {
+			continue
+		}
+		x := d.place[id]
+		heads := float64(x[bott])
+		if heads == 0 {
+			continue
+		}
+		w := d.workers[bott]
+		contrib := w.Attn.A*heads + w.Attn.B*heads*d.perHeadTokenBytes*float64(d.ctxLen[id])
+		if contrib > maxContrib {
+			maxContrib = contrib
+			victim = id
+		}
+	}
+	if victim < 0 {
+		return nil, nil
+	}
+	return d.redispatchRequest(victim)
+}
+
+// redispatchRequest removes the request's load and re-places it via Eq. 7.
+func (d *Dispatcher) redispatchRequest(id RequestID) (*Redispatch, error) {
+	old := d.Placement(id)
+	ctx := d.ctxLen[id]
+	d.release(id)
+	x, err := d.solvePlacement([]NewRequest{{ID: id, ContextLen: ctx}}, nil)
+	if err != nil {
+		// Roll back to the old placement.
+		d.commit(id, ctx, old)
+		return nil, err
+	}
+	d.commit(id, ctx, x[0])
+	d.Redispatches++
+	moved := 0
+	for i := range x[0] {
+		diff := x[0][i] - old[i]
+		if diff > 0 {
+			moved += diff
+		}
+	}
+	return &Redispatch{Request: id, Old: old, New: x[0], MovedHeads: moved}, nil
+}
+
+// RebalanceMemory implements §5.3.2: when worker idx is memory-exhausted,
+// first check whether the cluster as a whole still has slack
+// (Σg < ΣM); if so, re-dispatch the device's modified-LIFO victim instead
+// of evicting it. latestArrival selects the victim: the request with
+// memory on the device that arrived last (the caller supplies arrival
+// order via the candidate list, newest first).
+func (d *Dispatcher) RebalanceMemory(idx int, newestFirst []RequestID) (*Redispatch, error) {
+	if idx < 0 || idx >= len(d.workers) {
+		return nil, fmt.Errorf("dispatch: bad worker index %d", idx)
+	}
+	var sumG, sumM float64
+	for i := range d.workers {
+		sumG += d.g[i]
+		sumM += d.workers[i].CapacityBytes
+	}
+	if sumG >= sumM {
+		return nil, nil // nothing to gain; caller must evict
+	}
+	for _, id := range newestFirst {
+		x, ok := d.place[id]
+		if !ok || x[idx] == 0 {
+			continue
+		}
+		rd, err := d.redispatchRequest(id)
+		if err != nil {
+			continue // try the next victim
+		}
+		return rd, nil
+	}
+	return nil, nil
+}
+
+// Utilization returns per-worker cache utilization g_i/M_i.
+func (d *Dispatcher) Utilization() []float64 {
+	out := make([]float64, len(d.workers))
+	for i, w := range d.workers {
+		if w.CapacityBytes > 0 {
+			out[i] = d.g[i] / w.CapacityBytes
+		}
+	}
+	return out
+}
+
+// CheckInvariants validates internal accounting against the per-request
+// placements.
+func (d *Dispatcher) CheckInvariants() error {
+	h := make([]float64, len(d.workers))
+	g := make([]float64, len(d.workers))
+	r := d.cfg.GroupRatio()
+	for id, x := range d.place {
+		total := 0
+		for i, heads := range x {
+			if heads%r != 0 {
+				return fmt.Errorf("dispatch: request %d places %d heads on worker %d (not a multiple of r=%d)", id, heads, i, r)
+			}
+			total += heads
+			h[i] += float64(heads)
+			g[i] += float64(heads) * d.perHeadTokenBytes * float64(d.ctxLen[id])
+		}
+		if total != d.cfg.Heads {
+			return fmt.Errorf("dispatch: request %d has %d heads placed, want %d", id, total, d.cfg.Heads)
+		}
+	}
+	for i := range d.workers {
+		if math.Abs(h[i]-d.h[i]) > 1e-6 {
+			return fmt.Errorf("dispatch: worker %d heads drift: tracked %g, actual %g", i, d.h[i], h[i])
+		}
+		if math.Abs(g[i]-d.g[i]) > 1 {
+			return fmt.Errorf("dispatch: worker %d cache drift: tracked %g, actual %g", i, d.g[i], g[i])
+		}
+	}
+	return nil
+}

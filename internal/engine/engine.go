@@ -1,0 +1,267 @@
+// Package engine contains the iteration-level serving simulators: the Hetis
+// engine (primary workers + pooled attention workers with dynamic head-wise
+// dispatch) and the two baselines of §7 — Splitwise (prefill/decode
+// disaggregation) and HexGen (static asymmetric parallelism). All engines
+// run on the discrete-event kernel with costs from the perf model, share
+// the continuous-batching loop structure, and produce the same Result so
+// experiments can compare them row by row.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hetis/internal/hardware"
+	"hetis/internal/metrics"
+	"hetis/internal/model"
+	"hetis/internal/sim"
+	"hetis/internal/trace"
+	"hetis/internal/workload"
+)
+
+// Config carries the knobs shared by all engines.
+type Config struct {
+	Model   model.Config
+	Cluster *hardware.Cluster
+
+	// Theta is Hetis' re-dispatching threshold (§5.3); default 0.5.
+	Theta float64
+	// DisableRedispatch turns §5.3 off: memory exhaustion falls back to a
+	// plain (device-oblivious) LIFO eviction — the Fig. 15(a) baseline.
+	DisableRedispatch bool
+	// BlockingMigration charges cache-migration time to the iteration
+	// instead of overlapping it on low-priority streams (ablation).
+	BlockingMigration bool
+	// RebalanceEvery is the number of decode iterations between §5.3.1
+	// imbalance checks (each check solves the ideal-placement LP).
+	RebalanceEvery int
+	// GreedyDispatch replaces the Eq. 7 LP with the greedy
+	// longest-processing-time heuristic (ablation).
+	GreedyDispatch bool
+
+	// MaxPrefillTokens bounds the tokens prefilled per iteration.
+	MaxPrefillTokens int
+	// MaxPrefillRequests bounds the prompts admitted per iteration.
+	MaxPrefillRequests int
+	// MaxRunning bounds the decode batch per instance.
+	MaxRunning int
+	// AdmitWatermark is the cache-utilization ceiling for admitting new
+	// (or recycled) requests: admission stops when the projected
+	// utilization exceeds it, leaving slack for running requests to grow.
+	// This is the hysteresis that keeps eviction storms from livelocking
+	// the batch under overload (vLLM's watermark, made explicit).
+	AdmitWatermark float64
+
+	// MemHeadroom is the memory fraction reserved for activations.
+	MemHeadroom float64
+	// SampleEvery is the trace-sampling period in seconds (0 disables).
+	SampleEvery float64
+	// Seed drives any randomized tie-breaking (none today; kept for
+	// forward compatibility).
+	Seed int64
+}
+
+// DefaultConfig returns the standard engine configuration for a model on a
+// cluster.
+func DefaultConfig(cfg model.Config, cluster *hardware.Cluster) Config {
+	return Config{
+		Model:              cfg,
+		Cluster:            cluster,
+		Theta:              0.5,
+		RebalanceEvery:     8,
+		MaxPrefillTokens:   8192,
+		MaxPrefillRequests: 8,
+		MaxRunning:         512,
+		AdmitWatermark:     0.92,
+		MemHeadroom:        0.08,
+		SampleEvery:        1.0,
+	}
+}
+
+// Validate reports config errors.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Cluster == nil || c.Cluster.NumDevices() == 0 {
+		return fmt.Errorf("engine: empty cluster")
+	}
+	if c.Theta < 0 {
+		return fmt.Errorf("engine: negative Theta %g", c.Theta)
+	}
+	if c.MaxPrefillTokens <= 0 || c.MaxPrefillRequests <= 0 || c.MaxRunning <= 0 {
+		return fmt.Errorf("engine: batching limits must be positive")
+	}
+	return nil
+}
+
+// Result is what an engine run produces.
+type Result struct {
+	Engine   string
+	Recorder *metrics.Recorder
+	Trace    *trace.Log
+
+	// CacheCapacity is the KV space the deployment can hold (Fig. 11).
+	CacheCapacity int64
+	// PeakCacheUsed is the maximum observed total cache allocation.
+	PeakCacheUsed int64
+
+	// DenseTimes and AttnTimes are per-decode-iteration module latencies
+	// (max across stages × stage count, as §7.3 defines), for Fig. 13.
+	DenseTimes []float64
+	AttnTimes  []float64
+
+	// HeadSeries and CacheSeries sample per-device head counts and cache
+	// utilization over time (Fig. 14), keyed by device ID.
+	HeadSeries  map[hardware.DeviceID]*metrics.Series
+	CacheSeries map[hardware.DeviceID]*metrics.Series
+
+	Completed int
+	Evictions int
+	// Migrations counts §5.3 re-dispatch cache moves; MigratedBytes their
+	// volume.
+	Migrations    int
+	MigratedBytes int64
+	// Horizon is the simulated time at which the run ended.
+	Horizon float64
+}
+
+// Throughput is completed requests per simulated second.
+func (r *Result) Throughput() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Horizon
+}
+
+// Engine is a runnable serving system simulation.
+type Engine interface {
+	// Name identifies the system ("hetis", "splitwise", "hexgen").
+	Name() string
+	// Run serves the trace until all requests finish or the horizon
+	// (seconds; <= 0 means unbounded) passes.
+	Run(reqs []workload.Request, horizon float64) (*Result, error)
+	// CacheCapacity reports the KV space of the deployment without
+	// running it.
+	CacheCapacity() int64
+}
+
+// request is the runtime state of one in-flight request.
+type request struct {
+	wl        workload.Request
+	generated int // tokens produced so far
+	firstTok  float64
+	evicted   bool
+	// restartCtx is the context length to re-prefill after an eviction.
+	restartCtx int
+}
+
+func (r *request) contextLen() int { return r.wl.PromptLen + r.generated }
+
+func (r *request) done() bool { return r.generated >= r.wl.OutputLen }
+
+// queue is a FIFO of requests with O(1) amortized pop.
+type queue struct {
+	items []*request
+	head  int
+}
+
+func (q *queue) push(r *request) { q.items = append(q.items, r) }
+func (q *queue) pushFront(r *request) {
+	if q.head > 0 {
+		q.head--
+		q.items[q.head] = r
+		return
+	}
+	q.items = append([]*request{r}, q.items...)
+}
+func (q *queue) len() int { return len(q.items) - q.head }
+func (q *queue) peek() *request {
+	if q.len() == 0 {
+		return nil
+	}
+	return q.items[q.head]
+}
+func (q *queue) pop() *request {
+	if q.len() == 0 {
+		return nil
+	}
+	r := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 256 && q.head*2 > len(q.items) {
+		q.items = append([]*request(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	return r
+}
+
+// scheduleArrivals feeds the trace into per-instance queues round-robin by
+// least outstanding work and kicks the instance loop.
+func scheduleArrivals(s *sim.Simulator, reqs []workload.Request, admit func(s *sim.Simulator, r *request)) {
+	for _, wr := range reqs {
+		wr := wr
+		s.Schedule(wr.ArrivalAt, "arrival", func(s *sim.Simulator) {
+			admit(s, &request{wl: wr, restartCtx: wr.PromptLen})
+		})
+	}
+}
+
+// recordFinish closes out a request on the recorder.
+func recordFinish(rec *metrics.Recorder, r *request, now float64) {
+	rec.Add(metrics.RequestRecord{
+		ID:         r.wl.ID,
+		ArrivalAt:  r.wl.ArrivalAt,
+		FirstToken: r.firstTok,
+		FinishedAt: now,
+		PromptLen:  r.wl.PromptLen,
+		OutputLen:  r.wl.OutputLen,
+		Evicted:    r.evicted,
+	})
+}
+
+// moduleLatency implements §7.3's metric: the maximum per-stage execution
+// time multiplied by the number of stages, reflecting pipeline bubbles.
+func moduleLatency(perStage []float64) float64 {
+	if len(perStage) == 0 {
+		return 0
+	}
+	max := perStage[0]
+	for _, v := range perStage[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max * float64(len(perStage))
+}
+
+// pickLeastLoaded returns the index of the instance with the fewest
+// outstanding requests; ties break to the lowest index.
+func pickLeastLoaded(loads []int) int {
+	best := 0
+	for i, l := range loads {
+		if l < loads[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// sortedKeys returns a map's int keys in ascending order, for
+// deterministic iteration.
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// newestFirst sorts request IDs by arrival sequence descending given a
+// lookup of arrival order.
+func newestFirst(ids []int64, arrivalSeq map[int64]int64) []int64 {
+	out := append([]int64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return arrivalSeq[out[i]] > arrivalSeq[out[j]] })
+	return out
+}

@@ -1,0 +1,800 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"hetis/internal/dispatch"
+	"hetis/internal/hardware"
+	"hetis/internal/kvcache"
+	"hetis/internal/metrics"
+	"hetis/internal/parallelizer"
+	"hetis/internal/perf"
+	"hetis/internal/profile"
+	"hetis/internal/sim"
+	"hetis/internal/trace"
+	"hetis/internal/workload"
+)
+
+// dispatchCapacityMargin derates the dispatcher's view of per-worker cache
+// capacity relative to the block manager, absorbing block-rounding slack.
+const dispatchCapacityMargin = 0.9
+
+// Hetis is the paper's serving engine: primary-worker parallelism for dense
+// modules plus dynamic head-wise attention dispatch over the pooled
+// low-end GPUs.
+type Hetis struct {
+	cfg  Config
+	est  *perf.Estimator
+	plan *parallelizer.Plan
+	prof *profile.Profile
+}
+
+// NewHetis builds the engine from an explicit parallelization plan (use
+// parallelizer.Search, or PlanForWorkload for convenience).
+func NewHetis(cfg Config, plan *parallelizer.Plan) (*Hetis, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if plan == nil || len(plan.Instances) == 0 {
+		return nil, fmt.Errorf("engine: hetis needs a non-empty plan")
+	}
+	est := perf.New(cfg.Model)
+	primary := plan.Instances[0].Stages[0].Devices[0]
+	prof, err := profile.Run(est, cfg.Cluster, primary, profile.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("engine: profiling: %w", err)
+	}
+	return &Hetis{cfg: cfg, est: est, plan: plan, prof: prof}, nil
+}
+
+// SetProfile overrides the fitted models (used by the Fig. 16(b)
+// profiling-error experiment).
+func (h *Hetis) SetProfile(p *profile.Profile) { h.prof = p }
+
+// Plan exposes the deployment plan.
+func (h *Hetis) Plan() *parallelizer.Plan { return h.plan }
+
+// PlanForWorkload runs the parallelizer on aggregate trace statistics. The
+// decode-batch target adapts to what the cluster can physically cache for
+// the trace's context lengths, so long-context workloads on KV-heavy models
+// stay feasible.
+func PlanForWorkload(cfg Config, reqs []workload.Request) (*parallelizer.Plan, error) {
+	st := workload.Summarize(reqs)
+	wl := parallelizer.DefaultWorkload()
+	if st.Count > 0 {
+		wl.AvgPrompt = max(1, int(st.MeanPrompt))
+		wl.AvgOutput = max(1, int(st.MeanOutput))
+		wl.AvgContext = max(1, int(st.MeanPrompt+st.MeanOutput/2))
+	}
+	// Upper-bound the batch target by the cache the cluster could hold
+	// with one model copy resident (conservatively 60% usable for KV).
+	freeBytes := float64(cfg.Cluster.TotalMemory())*(1-cfg.MemHeadroom) - float64(cfg.Model.WeightBytes())
+	if freeBytes > 0 {
+		maxBatch := int(0.6 * freeBytes / (float64(wl.AvgContext) * float64(cfg.Model.KVBytesPerToken())))
+		if maxBatch < 4 {
+			maxBatch = 4
+		}
+		if wl.DecodeBatch > maxBatch {
+			wl.DecodeBatch = maxBatch
+		}
+	}
+	return parallelizer.Search(cfg.Cluster, perf.New(cfg.Model), wl, parallelizer.DefaultOptions())
+}
+
+// Name implements Engine.
+func (h *Hetis) Name() string { return "hetis" }
+
+// CacheCapacity implements Engine: free memory on primaries after weights
+// plus the full memory of the attention-worker pool.
+func (h *Hetis) CacheCapacity() int64 {
+	var total int64
+	for _, in := range h.plan.Instances {
+		for _, st := range in.Stages {
+			free := stageFreeBytes(h.cfg, st)
+			if free > 0 {
+				total += free
+			}
+		}
+		for _, id := range in.AttentionWorkers {
+			total += int64(float64(h.cfg.Cluster.Device(id).Spec.MemBytes) * (1 - h.cfg.MemHeadroom))
+		}
+	}
+	return total
+}
+
+func stageFreeBytes(cfg Config, st parallelizer.Stage) int64 {
+	var mem float64
+	for range st.Devices {
+		mem += float64(st.Spec.MemBytes) * (1 - cfg.MemHeadroom)
+	}
+	weights := float64(st.Layers) * float64(cfg.Model.LayerWeightBytes())
+	return int64(mem - weights)
+}
+
+// hetisInstance is the runtime of one serving instance.
+type hetisInstance struct {
+	eng    *Hetis
+	idx    int
+	stages []parallelizer.Stage
+	links  []hardware.LinkSpec
+	pool   []hardware.DeviceID
+
+	disp *dispatch.Dispatcher
+	kv   []*kvcache.Manager
+	// workerDev maps dispatcher worker index to a representative device
+	// (the stage's first device, or the pool device itself).
+	workerDev []hardware.DeviceID
+	// workerLink is the channel from the instance primary to the worker.
+	workerLink []hardware.LinkSpec
+
+	waiting    queue
+	running    []*request
+	byID       map[int64]*request
+	arrivalSeq map[int64]int64
+	nextSeq    int64
+	busy       bool
+	// decodeSteps counts decode iterations for the rebalance cadence.
+	decodeSteps int
+	// lastMig records the decode step at which a request last migrated;
+	// recently migrated requests are frozen against re-migration.
+	lastMig map[int64]int
+	// pendingDelay accumulates blocking-migration time charged to the
+	// next iteration.
+	pendingDelay float64
+
+	res *Result
+	cfg *Config
+}
+
+func (h *Hetis) newInstance(idx int, in parallelizer.Instance, res *Result) (*hetisInstance, error) {
+	cfg := h.cfg
+	inst := &hetisInstance{
+		eng:        h,
+		idx:        idx,
+		stages:     in.Stages,
+		pool:       in.AttentionWorkers,
+		byID:       make(map[int64]*request),
+		arrivalSeq: make(map[int64]int64),
+		lastMig:    make(map[int64]int),
+		res:        res,
+		cfg:        &h.cfg,
+	}
+	groupTok := cfg.Model.KVBytesPerTokenHeadGroup() * int64(cfg.Model.Layers)
+
+	var workers []dispatch.Worker
+	addWorker := func(dev hardware.DeviceID, attn profile.AttnModel, net profile.NetModel, primary bool, freeBytes int64, link hardware.LinkSpec) error {
+		if freeBytes < 0 {
+			freeBytes = 0
+		}
+		mgr, err := kvcache.NewManager(kvcache.Config{
+			BlockTokens:        16,
+			BytesPerGroupToken: groupTok,
+			CapacityBytes:      freeBytes,
+		})
+		if err != nil {
+			return err
+		}
+		inst.kv = append(inst.kv, mgr)
+		inst.workerDev = append(inst.workerDev, dev)
+		inst.workerLink = append(inst.workerLink, link)
+		workers = append(workers, dispatch.Worker{
+			ID:            dev,
+			Attn:          attn,
+			Net:           net,
+			Primary:       primary,
+			CapacityBytes: float64(mgr.CapacityBytes()) / float64(cfg.Model.Layers) * dispatchCapacityMargin,
+		})
+		return nil
+	}
+
+	primaryDev := in.Stages[0].Devices[0]
+	for _, st := range in.Stages {
+		inst.links = append(inst.links, parallelizer.StageLink(cfg.Cluster, st))
+		am := h.prof.Attn[st.Devices[0]]
+		// TP shards heads and cache across the stage's tensor group.
+		am.A /= float64(st.TP)
+		am.B /= float64(st.TP)
+		if err := addWorker(st.Devices[0], am, profile.NetModel{}, true, stageFreeBytes(cfg, st), hardware.Loopback); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range in.AttentionWorkers {
+		free := int64(float64(cfg.Cluster.Device(id).Spec.MemBytes) * (1 - cfg.MemHeadroom))
+		link := cfg.Cluster.Link(primaryDev, id)
+		if err := addWorker(id, h.prof.Attn[id], h.prof.Net[id], false, free, link); err != nil {
+			return nil, err
+		}
+	}
+	d, err := dispatch.New(cfg.Model, workers)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.GreedyDispatch {
+		d.SetPolicy(dispatch.PolicyGreedy)
+	}
+	inst.disp = d
+	return inst, nil
+}
+
+// Run implements Engine.
+func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
+	reqs = workload.Truncate(reqs, h.cfg.Model.MaxSeqLen) // clamp to the context window
+	res := &Result{
+		Engine:        h.Name(),
+		Recorder:      metrics.NewRecorder(),
+		Trace:         &trace.Log{},
+		CacheCapacity: h.CacheCapacity(),
+		HeadSeries:    map[hardware.DeviceID]*metrics.Series{},
+		CacheSeries:   map[hardware.DeviceID]*metrics.Series{},
+	}
+	var instances []*hetisInstance
+	for i, in := range h.plan.Instances {
+		inst, err := h.newInstance(i, in, res)
+		if err != nil {
+			return nil, err
+		}
+		instances = append(instances, inst)
+	}
+
+	s := sim.New()
+	s.MaxEvents = 20_000_000
+	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
+		loads := make([]int, len(instances))
+		for i, in := range instances {
+			loads[i] = in.waiting.len() + len(in.running)
+		}
+		inst := instances[pickLeastLoaded(loads)]
+		inst.waiting.push(r)
+		inst.arrivalSeq[r.wl.ID] = inst.nextSeq
+		inst.nextSeq++
+		res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
+		inst.kick(s)
+	})
+	if h.cfg.SampleEvery > 0 {
+		var sample func(s *sim.Simulator)
+		sample = func(s *sim.Simulator) {
+			for _, inst := range instances {
+				inst.sample(s.Now())
+			}
+			if s.Pending() > 0 {
+				s.After(h.cfg.SampleEvery, "sample", sample)
+			}
+		}
+		s.After(h.cfg.SampleEvery, "sample", sample)
+	}
+	if err := s.Run(horizon); err != nil {
+		return nil, err
+	}
+	res.Horizon = s.Now()
+	return res, nil
+}
+
+func (inst *hetisInstance) kick(s *sim.Simulator) {
+	if inst.busy {
+		return
+	}
+	inst.busy = true
+	s.After(0, "step", inst.step)
+}
+
+// step runs one scheduling decision: prefill first (continuous batching
+// admits whenever cache allows), otherwise a decode iteration.
+func (inst *hetisInstance) step(s *sim.Simulator) {
+	if inst.tryPrefill(s) {
+		return
+	}
+	if inst.tryDecode(s) {
+		return
+	}
+	inst.busy = false
+}
+
+// tryPrefill admits waiting requests within batching limits and runs one
+// prefill iteration for them.
+func (inst *hetisInstance) tryPrefill(s *sim.Simulator) bool {
+	cfg := inst.cfg
+	var admitted []*request
+	tokens := 0
+	for inst.waiting.len() > 0 &&
+		len(admitted) < cfg.MaxPrefillRequests &&
+		len(inst.running)+len(admitted) < cfg.MaxRunning {
+		r := inst.waiting.peek()
+		ctx := r.restartCtx
+		if tokens+ctx > cfg.MaxPrefillTokens && len(admitted) > 0 {
+			break
+		}
+		nr := dispatch.NewRequest{ID: r.wl.ID, ContextLen: ctx}
+		if !inst.underWatermark(ctx) {
+			// Leave growth slack for the running batch; admission resumes
+			// when completions drain utilization below the watermark.
+			if len(inst.running) == 0 && len(admitted) == 0 {
+				// Nothing running to free space: admit anyway to make
+				// progress (a single request must always be servable).
+				if inst.disp.CanFit([]dispatch.NewRequest{nr}) {
+					goto place
+				}
+				inst.waiting.pop()
+				inst.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: cannot ever fit")
+				continue
+			}
+			break
+		}
+	place:
+		if _, err := inst.disp.Dispatch([]dispatch.NewRequest{nr}); err != nil {
+			// Cannot place: if the instance is otherwise empty the request
+			// can never fit — drop it; else wait for cache to free up.
+			if len(inst.running) == 0 && len(admitted) == 0 && !inst.disp.CanFit([]dispatch.NewRequest{nr}) {
+				inst.waiting.pop()
+				inst.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: cannot ever fit")
+				continue
+			}
+			break
+		}
+		if !inst.kvAlloc(s, r.wl.ID, ctx) {
+			inst.disp.Remove(r.wl.ID)
+			break
+		}
+		inst.waiting.pop()
+		admitted = append(admitted, r)
+		tokens += ctx
+	}
+	if len(admitted) == 0 {
+		return false
+	}
+
+	prompts := make([]int, len(admitted))
+	for i, r := range admitted {
+		prompts[i] = r.restartCtx
+		inst.byID[r.wl.ID] = r
+	}
+	dt := inst.prefillTime(prompts, admitted) + inst.pendingDelay
+	inst.pendingDelay = 0
+	s.After(dt, "prefill-done", func(s *sim.Simulator) {
+		overflown := map[int]bool{}
+		for _, r := range admitted {
+			if inst.byID[r.wl.ID] != r {
+				continue // evicted while the batch completed
+			}
+			if r.firstTok == 0 {
+				r.firstTok = s.Now()
+			}
+			if r.generated == 0 {
+				r.generated = 1 // prefill emits the first token
+			}
+			inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindPrefill, Request: r.wl.ID, Value: float64(r.restartCtx)})
+			if r.done() {
+				inst.finish(s, r)
+				continue
+			}
+			// Account the first generated token's KV.
+			if over, err := inst.disp.ExtendContext(r.wl.ID, 1); err == nil {
+				for _, w := range over {
+					overflown[w] = true
+				}
+			}
+			inst.kvExtend(s, r.wl.ID)
+			inst.running = append(inst.running, r)
+		}
+		for _, w := range sortedKeys(overflown) {
+			inst.handleMemoryPressure(s, w)
+		}
+		inst.step(s)
+	})
+	return true
+}
+
+// prefillTime is the iteration cost of prefilling the admitted prompts:
+// dense + prompt attention through all stages, pipeline hops, the LM head,
+// and the scatter of pool-resident KV shards.
+func (inst *hetisInstance) prefillTime(prompts []int, admitted []*request) float64 {
+	est := inst.eng.est
+	cfg := inst.cfg
+	total := 0
+	for _, p := range prompts {
+		total += p
+	}
+	var dt float64
+	for k, st := range inst.stages {
+		dt += parallelizer.StagePrefillTime(est, st, prompts, inst.links[k])
+	}
+	if len(inst.stages) > 1 {
+		dt += float64(len(inst.stages)-1) * perf.P2PTime(cfg.Cluster.InterLink, cfg.Model.HiddenStateBytes(total))
+	}
+	last := inst.stages[len(inst.stages)-1]
+	dt += est.LMHeadTime(last.Spec, len(prompts), last.TP)
+
+	// KV scatter: shards dispatched to pool workers ship over their links
+	// concurrently; the slowest leg gates the iteration.
+	groupTok := cfg.Model.KVBytesPerTokenHeadGroup() * int64(cfg.Model.Layers)
+	r := cfg.Model.GroupRatio()
+	var maxLeg float64
+	for wi := len(inst.stages); wi < inst.disp.NumWorkers(); wi++ {
+		var bytes int64
+		for _, req := range admitted {
+			x := inst.disp.Placement(req.wl.ID)
+			if x == nil || x[wi] == 0 {
+				continue
+			}
+			bytes += int64(x[wi]/r) * int64(req.restartCtx) * groupTok
+		}
+		if bytes > 0 {
+			if leg := perf.P2PTime(inst.workerLink[wi], bytes); leg > maxLeg {
+				maxLeg = leg
+			}
+		}
+	}
+	return dt + maxLeg
+}
+
+// tryDecode runs one decode iteration over the running batch.
+func (inst *hetisInstance) tryDecode(s *sim.Simulator) bool {
+	if len(inst.running) == 0 {
+		return false
+	}
+	est := inst.eng.est
+	cfg := inst.cfg
+	batch := len(inst.running)
+
+	stageTimes := make([]float64, len(inst.stages))
+	var dense float64
+	for k, st := range inst.stages {
+		stageTimes[k] = parallelizer.StageDecodeTime(est, st, batch, inst.links[k])
+		dense += stageTimes[k]
+	}
+	if len(inst.stages) > 1 {
+		dense += float64(len(inst.stages)-1) * perf.P2PTime(cfg.Cluster.InterLink, cfg.Model.HiddenStateBytes(batch))
+	}
+	last := inst.stages[len(inst.stages)-1]
+	dense += est.LMHeadTime(last.Spec, batch, last.TP)
+
+	attnPerLayer := inst.disp.AttnStepTime()
+	attn := float64(cfg.Model.Layers) * attnPerLayer
+
+	// §7.3 module metrics.
+	inst.res.DenseTimes = append(inst.res.DenseTimes, moduleLatency(stageTimes))
+	attnPerStage := make([]float64, len(inst.stages))
+	for k, st := range inst.stages {
+		attnPerStage[k] = float64(st.Layers) * attnPerLayer
+	}
+	inst.res.AttnTimes = append(inst.res.AttnTimes, moduleLatency(attnPerStage))
+
+	dt := dense + attn + inst.pendingDelay
+	inst.pendingDelay = 0
+	s.After(dt, "decode-done", func(s *sim.Simulator) {
+		inst.afterDecode(s)
+		inst.step(s)
+	})
+	return true
+}
+
+// afterDecode advances every running request by one token and runs the
+// §5.3 maintenance: memory-pressure handling and compute re-balancing.
+func (inst *hetisInstance) afterDecode(s *sim.Simulator) {
+	cfg := inst.cfg
+	var still []*request
+	overflown := map[int]bool{}
+	for _, r := range inst.running {
+		r.generated++
+		if r.done() {
+			inst.finish(s, r)
+			continue
+		}
+		over, err := inst.disp.ExtendContext(r.wl.ID, 1)
+		if err == nil {
+			for _, w := range over {
+				overflown[w] = true
+			}
+		}
+		inst.kvExtend(s, r.wl.ID)
+		still = append(still, r)
+	}
+	inst.running = still
+	inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindDecode, Value: float64(len(still))})
+
+	for _, w := range sortedKeys(overflown) {
+		inst.handleMemoryPressure(s, w)
+	}
+	inst.decodeSteps++
+	every := cfg.RebalanceEvery
+	if every <= 0 {
+		every = 8
+	}
+	if !cfg.DisableRedispatch && len(inst.running) > 0 && inst.decodeSteps%every == 0 {
+		if rd, err := inst.disp.RebalanceCompute(cfg.Theta, inst.frozenRequests(every)); err == nil && rd != nil {
+			inst.applyRedispatch(s, rd)
+		}
+	}
+	inst.trackPeak()
+}
+
+// underWatermark reports whether admitting ctx more tokens of full-head
+// cache keeps the instance below the admission watermark.
+func (inst *hetisInstance) underWatermark(ctx int) bool {
+	wm := inst.cfg.AdmitWatermark
+	if wm <= 0 {
+		wm = 0.92
+	}
+	var used, capTotal float64
+	for i, w := range inst.disp.Workers() {
+		used += inst.disp.CacheBytes(i)
+		capTotal += w.CapacityBytes
+	}
+	if capTotal <= 0 {
+		return false
+	}
+	add := float64(inst.cfg.Model.Heads) * float64(ctx) *
+		float64(inst.cfg.Model.KVBytesPerTokenHeadGroup()) / float64(inst.cfg.Model.GroupRatio())
+	return (used+add)/capTotal <= wm
+}
+
+// kvAlloc mirrors a dispatch placement into the block managers.
+func (inst *hetisInstance) kvAlloc(s *sim.Simulator, id int64, ctx int) bool {
+	x := inst.disp.Placement(id)
+	if x == nil {
+		return false
+	}
+	r := inst.cfg.Model.GroupRatio()
+	for i, heads := range x {
+		if heads == 0 {
+			continue
+		}
+		if err := inst.kv[i].Alloc(kvcache.RequestID(id), heads/r, ctx); err != nil {
+			// Roll back earlier workers.
+			for j := 0; j < i; j++ {
+				inst.kv[j].Free(kvcache.RequestID(id))
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// kvExtend grows the block allocation by one token on every worker holding
+// the request, force-evicting on block exhaustion.
+func (inst *hetisInstance) kvExtend(s *sim.Simulator, id int64) {
+	x := inst.disp.Placement(id)
+	if x == nil {
+		return
+	}
+	for i, heads := range x {
+		if heads == 0 {
+			continue
+		}
+		for inst.kv[i].Extend(kvcache.RequestID(id), 1) != nil {
+			if !inst.evictOn(s, i, id) {
+				return // nothing left to evict; accounting stays best-effort
+			}
+		}
+	}
+}
+
+// kvFree releases a request everywhere.
+func (inst *hetisInstance) kvFree(id int64) {
+	for _, m := range inst.kv {
+		m.Free(kvcache.RequestID(id))
+	}
+}
+
+// frozenRequests lists requests migrated within the last `window` decode
+// steps; they are exempt from further re-dispatching to damp ping-pong.
+func (inst *hetisInstance) frozenRequests(window int) map[int64]bool {
+	out := make(map[int64]bool)
+	for id, step := range inst.lastMig {
+		if inst.decodeSteps-step < 2*window {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// handleMemoryPressure implements §5.3.2 for one exhausted worker: first
+// try re-dispatching the device's newest request into cluster slack, then
+// fall back to eviction. Memory pressure overrides the migration cooldown:
+// relieving an exhausted device beats damping.
+func (inst *hetisInstance) handleMemoryPressure(s *sim.Simulator, w int) {
+	cfg := inst.cfg
+	if !cfg.DisableRedispatch {
+		ids := make([]int64, 0)
+		for _, rid := range inst.kv[w].Requests() {
+			ids = append(ids, int64(rid))
+		}
+		for _, id := range newestFirst(ids, inst.arrivalSeq) {
+			if inst.disp.CacheBytes(w) <= inst.disp.Workers()[w].CapacityBytes {
+				return
+			}
+			rd, err := inst.disp.RebalanceMemory(w, []int64{id})
+			if err != nil || rd == nil {
+				break
+			}
+			inst.applyRedispatch(s, rd)
+		}
+		if inst.disp.CacheBytes(w) <= inst.disp.Workers()[w].CapacityBytes {
+			return
+		}
+	}
+	// Eviction. Plain LIFO (baseline) picks the globally newest running
+	// request; Hetis' modified LIFO picks the newest holding memory on w.
+	for inst.disp.CacheBytes(w) > inst.disp.Workers()[w].CapacityBytes {
+		var victim int64 = -1
+		if cfg.DisableRedispatch {
+			var seq int64 = -1
+			for _, r := range inst.running {
+				if inst.arrivalSeq[r.wl.ID] > seq {
+					seq = inst.arrivalSeq[r.wl.ID]
+					victim = r.wl.ID
+				}
+			}
+		} else if v, ok := inst.kv[w].VictimLIFO(); ok {
+			victim = int64(v)
+		}
+		if victim < 0 {
+			return
+		}
+		if !inst.evict(s, victim) {
+			return
+		}
+	}
+}
+
+// evictOn evicts the LIFO victim holding blocks on worker w, preferring a
+// request other than protect.
+func (inst *hetisInstance) evictOn(s *sim.Simulator, w int, protect int64) bool {
+	reqs := inst.kv[w].Requests()
+	for k := len(reqs) - 1; k >= 0; k-- {
+		id := int64(reqs[k])
+		if id == protect {
+			continue
+		}
+		return inst.evict(s, id)
+	}
+	return false
+}
+
+// evict removes a request from the batch and recycles it to the waiting
+// queue for recomputation.
+func (inst *hetisInstance) evict(s *sim.Simulator, id int64) bool {
+	r, ok := inst.byID[id]
+	if !ok {
+		return false
+	}
+	inst.disp.Remove(id)
+	inst.kvFree(id)
+	for k, rr := range inst.running {
+		if rr.wl.ID == id {
+			inst.running = append(inst.running[:k], inst.running[k+1:]...)
+			break
+		}
+	}
+	delete(inst.byID, id)
+	r.evicted = true
+	r.restartCtx = r.contextLen()
+	inst.waiting.pushFront(r)
+	inst.res.Evictions++
+	inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindEviction, Request: id})
+	return true
+}
+
+// applyRedispatch moves block allocations to match a new placement and
+// accounts the migration (overlapped on low-priority streams unless the
+// blocking ablation is on).
+func (inst *hetisInstance) applyRedispatch(s *sim.Simulator, rd *dispatch.Redispatch) {
+	cfg := inst.cfg
+	r := cfg.Model.GroupRatio()
+	ctx := inst.disp.ContextLen(rd.Request)
+	groupTok := cfg.Model.KVBytesPerTokenHeadGroup() * int64(cfg.Model.Layers)
+
+	oldMap := map[int]int{}
+	newMap := map[int]int{}
+	for i := range rd.Old {
+		if rd.Old[i] > 0 {
+			oldMap[i] = rd.Old[i] / r
+		}
+		if rd.New[i] > 0 {
+			newMap[i] = rd.New[i] / r
+		}
+	}
+	moves, err := kvcache.PlanMigration(oldMap, newMap, ctx, groupTok)
+	if err != nil {
+		return
+	}
+	// Apply to managers: shrink sources first to free blocks, then grow
+	// destinations.
+	id := kvcache.RequestID(rd.Request)
+	for i := range inst.kv {
+		oldG, newG := oldMap[i], newMap[i]
+		if newG < oldG {
+			if newG == 0 {
+				inst.kv[i].Free(id)
+			} else {
+				_ = inst.kv[i].ShrinkGroups(id, oldG-newG)
+			}
+		}
+	}
+	for i := range inst.kv {
+		oldG, newG := oldMap[i], newMap[i]
+		if newG > oldG {
+			var err error
+			if oldG == 0 {
+				err = inst.kv[i].Alloc(id, newG, ctx)
+			} else {
+				err = inst.kv[i].GrowGroups(id, newG-oldG)
+			}
+			for errors.Is(err, kvcache.ErrNoSpace) {
+				if !inst.evictOn(s, i, rd.Request) {
+					break
+				}
+				if oldG == 0 {
+					err = inst.kv[i].Alloc(id, newG, ctx)
+				} else {
+					err = inst.kv[i].GrowGroups(id, newG-oldG)
+				}
+			}
+		}
+	}
+	bytes := kvcache.TotalMoveBytes(moves)
+	inst.lastMig[rd.Request] = inst.decodeSteps
+	inst.res.Migrations++
+	inst.res.MigratedBytes += bytes
+	inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindRedispatch, Request: rd.Request, Value: float64(bytes)})
+	if cfg.BlockingMigration && len(moves) > 0 {
+		var maxLeg float64
+		for _, mv := range moves {
+			link := inst.cfg.Cluster.Link(inst.workerDev[mv.From], inst.workerDev[mv.To])
+			if t := perf.P2PTime(link, mv.Bytes); t > maxLeg {
+				maxLeg = t
+			}
+		}
+		inst.pendingDelay += maxLeg
+	}
+}
+
+func (inst *hetisInstance) finish(s *sim.Simulator, r *request) {
+	inst.disp.Remove(r.wl.ID)
+	inst.kvFree(r.wl.ID)
+	delete(inst.byID, r.wl.ID)
+	delete(inst.lastMig, r.wl.ID)
+	recordFinish(inst.res.Recorder, r, s.Now())
+	inst.res.Completed++
+	inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
+}
+
+func (inst *hetisInstance) trackPeak() {
+	var used int64
+	for _, m := range inst.kv {
+		used += m.UsedBytes()
+	}
+	if used > inst.res.PeakCacheUsed {
+		inst.res.PeakCacheUsed = used
+	}
+}
+
+// sample records per-device head counts and cache utilization (Fig. 14).
+func (inst *hetisInstance) sample(now float64) {
+	for i, dev := range inst.workerDev {
+		hs, ok := inst.res.HeadSeries[dev]
+		if !ok {
+			hs = &metrics.Series{Name: fmt.Sprintf("heads-%d", dev)}
+			inst.res.HeadSeries[dev] = hs
+		}
+		hs.Append(now, inst.disp.Heads(i))
+
+		cs, ok := inst.res.CacheSeries[dev]
+		if !ok {
+			cs = &metrics.Series{Name: fmt.Sprintf("cache-%d", dev)}
+			inst.res.CacheSeries[dev] = cs
+		}
+		cs.Append(now, inst.kv[i].Utilization()*100)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Profile returns the fitted attention/network models the engine plans
+// with.
+func (h *Hetis) Profile() *profile.Profile { return h.prof }

@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"fmt"
+
+	"hetis/internal/metrics"
+	"hetis/internal/parallelizer"
+	"hetis/internal/perf"
+	"hetis/internal/sim"
+	"hetis/internal/trace"
+	"hetis/internal/workload"
+)
+
+// HexGen is the parameter-splitting baseline (§7.1): a single static
+// pipeline whose stages hold asymmetric layer counts balanced by device
+// throughput; prefill and decode share the same workers. Its weakness is
+// exactly what §2.3 describes — cache capacity is bounded by the tightest
+// stage and low-end GPUs drag every dense module.
+type HexGen struct {
+	cfg  Config
+	est  *perf.Estimator
+	pipe *staticPipeline
+}
+
+// NewHexGen builds the baseline over the whole cluster.
+func NewHexGen(cfg Config) (*HexGen, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	est := perf.New(cfg.Model)
+	pipe, err := buildStaticPipeline(cfg, est, cfg.Cluster, cfg.Cluster.DevicesByType(), 32)
+	if err != nil {
+		return nil, fmt.Errorf("engine: hexgen: %w", err)
+	}
+	return &HexGen{cfg: cfg, est: est, pipe: pipe}, nil
+}
+
+// Name implements Engine.
+func (h *HexGen) Name() string { return "hexgen" }
+
+// CacheCapacity implements Engine.
+func (h *HexGen) CacheCapacity() int64 { return h.pipe.cacheCapacityBytes(h.cfg.Model) }
+
+// Stages exposes the static layout for tests and experiments.
+func (h *HexGen) Stages() []parallelizer.Stage { return h.pipe.stages }
+
+// Run implements Engine.
+func (h *HexGen) Run(reqs []workload.Request, horizon float64) (*Result, error) {
+	reqs = workload.Truncate(reqs, h.cfg.Model.MaxSeqLen) // clamp to the context window
+	res := &Result{
+		Engine:        h.Name(),
+		Recorder:      metrics.NewRecorder(),
+		Trace:         &trace.Log{},
+		CacheCapacity: h.CacheCapacity(),
+	}
+	h.pipe.usedTokens = 0 // fresh run
+	rt := &staticRuntime{
+		cfg:  h.cfg,
+		est:  h.est,
+		pipe: h.pipe,
+		res:  res,
+		byID: map[int64]*request{},
+		seq:  map[int64]int64{},
+	}
+	s := sim.New()
+	s.MaxEvents = 20_000_000
+	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
+		rt.waiting.push(r)
+		rt.seq[r.wl.ID] = rt.nextSeq
+		rt.nextSeq++
+		res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
+		rt.kick(s)
+	})
+	if err := s.Run(horizon); err != nil {
+		return nil, err
+	}
+	res.Horizon = s.Now()
+	return res, nil
+}
+
+// staticRuntime is the colocated continuous-batching loop shared shape
+// with Hetis' instance, but with token-count cache accounting and no
+// dynamic dispatch.
+type staticRuntime struct {
+	cfg  Config
+	est  *perf.Estimator
+	pipe *staticPipeline
+	res  *Result
+
+	waiting queue
+	running []*request
+	byID    map[int64]*request
+	seq     map[int64]int64
+	nextSeq int64
+	busy    bool
+}
+
+func (rt *staticRuntime) kick(s *sim.Simulator) {
+	if rt.busy {
+		return
+	}
+	rt.busy = true
+	s.After(0, "hexgen-step", rt.step)
+}
+
+func (rt *staticRuntime) step(s *sim.Simulator) {
+	if rt.tryPrefill(s) {
+		return
+	}
+	if rt.tryDecode(s) {
+		return
+	}
+	rt.busy = false
+}
+
+func (rt *staticRuntime) tryPrefill(s *sim.Simulator) bool {
+	cfg := rt.cfg
+	var admitted []*request
+	tokens := 0
+	for rt.waiting.len() > 0 &&
+		len(admitted) < cfg.MaxPrefillRequests &&
+		len(rt.running)+len(admitted) < cfg.MaxRunning {
+		r := rt.waiting.peek()
+		ctx := int64(r.restartCtx)
+		if rt.pipe.usedTokens+ctx > rt.pipe.tokenCap {
+			if len(rt.running) == 0 && len(admitted) == 0 && ctx > rt.pipe.tokenCap {
+				rt.waiting.pop() // can never fit
+				rt.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: exceeds cache")
+				continue
+			}
+			break
+		}
+		if tokens+int(ctx) > cfg.MaxPrefillTokens && len(admitted) > 0 {
+			break
+		}
+		rt.waiting.pop()
+		rt.pipe.usedTokens += ctx
+		tokens += int(ctx)
+		admitted = append(admitted, r)
+		rt.byID[r.wl.ID] = r
+	}
+	if len(admitted) == 0 {
+		return false
+	}
+	prompts := make([]int, len(admitted))
+	for i, r := range admitted {
+		prompts[i] = r.restartCtx
+	}
+	dt := rt.pipe.prefillTime(rt.est, cfg, prompts)
+	s.After(dt, "hexgen-prefill", func(s *sim.Simulator) {
+		for _, r := range admitted {
+			if r.firstTok == 0 {
+				r.firstTok = s.Now()
+			}
+			if r.generated == 0 {
+				r.generated = 1
+				rt.pipe.usedTokens++ // cache of the first generated token
+			}
+			if r.done() {
+				rt.finish(s, r)
+			} else {
+				rt.running = append(rt.running, r)
+			}
+		}
+		rt.step(s)
+	})
+	return true
+}
+
+func (rt *staticRuntime) tryDecode(s *sim.Simulator) bool {
+	if len(rt.running) == 0 {
+		return false
+	}
+	var ctxTokens int64
+	for _, r := range rt.running {
+		ctxTokens += int64(r.contextLen())
+	}
+	dt, dense, attn := rt.pipe.decodeTime(rt.est, rt.cfg, len(rt.running), ctxTokens)
+	rt.res.DenseTimes = append(rt.res.DenseTimes, moduleLatency(dense))
+	rt.res.AttnTimes = append(rt.res.AttnTimes, moduleLatency(attn))
+	s.After(dt, "hexgen-decode", func(s *sim.Simulator) {
+		rt.afterDecode(s)
+		rt.step(s)
+	})
+	return true
+}
+
+func (rt *staticRuntime) afterDecode(s *sim.Simulator) {
+	var still []*request
+	for _, r := range rt.running {
+		r.generated++
+		rt.pipe.usedTokens++
+		if r.done() {
+			rt.finish(s, r)
+			continue
+		}
+		still = append(still, r)
+	}
+	rt.running = still
+	// Cache overflow → LIFO preemption with recomputation.
+	for rt.pipe.usedTokens > rt.pipe.tokenCap && len(rt.running) > 0 {
+		victimIdx := 0
+		for i, r := range rt.running {
+			if rt.seq[r.wl.ID] > rt.seq[rt.running[victimIdx].wl.ID] {
+				victimIdx = i
+			}
+		}
+		v := rt.running[victimIdx]
+		rt.running = append(rt.running[:victimIdx], rt.running[victimIdx+1:]...)
+		rt.pipe.usedTokens -= int64(v.contextLen())
+		v.evicted = true
+		v.restartCtx = v.contextLen()
+		rt.waiting.pushFront(v)
+		delete(rt.byID, v.wl.ID)
+		rt.res.Evictions++
+		rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindEviction, Request: v.wl.ID})
+	}
+	if used := rt.pipe.usedTokens * rt.cfg.Model.KVBytesPerToken(); used > rt.res.PeakCacheUsed {
+		rt.res.PeakCacheUsed = used
+	}
+}
+
+func (rt *staticRuntime) finish(s *sim.Simulator, r *request) {
+	rt.pipe.usedTokens -= int64(r.contextLen())
+	if rt.pipe.usedTokens < 0 {
+		rt.pipe.usedTokens = 0
+	}
+	delete(rt.byID, r.wl.ID)
+	recordFinish(rt.res.Recorder, r, s.Now())
+	rt.res.Completed++
+	rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
+}

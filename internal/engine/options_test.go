@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"testing"
+
+	"hetis/internal/hardware"
+	"hetis/internal/model"
+	"hetis/internal/parallelizer"
+	"hetis/internal/workload"
+)
+
+// pressuredSetup builds the Fig. 14-style small cluster with a pinned plan
+// and a trace heavy enough to exercise §5.3.
+func pressuredSetup(t *testing.T, mutate func(*Config)) *Result {
+	t.Helper()
+	cluster := hardware.NewBuilder(hardware.LAN100G).
+		AddHost("a100", hardware.PCIe4x16, hardware.A100, 1).
+		AddHost("3090-a", hardware.PCIe3x16, hardware.RTX3090, 1).
+		AddHost("3090-b", hardware.PCIe3x16, hardware.RTX3090, 1).
+		MustBuild()
+	m := model.Llama13B
+	plan := &parallelizer.Plan{Instances: []parallelizer.Instance{{
+		Stages: []parallelizer.Stage{{
+			Spec: hardware.A100, Devices: []hardware.DeviceID{0},
+			TP: 1, PP: 1, Layers: m.Layers,
+		}},
+		AttentionWorkers: []hardware.DeviceID{1, 2},
+	}}}
+	cfg := DefaultConfig(m, cluster)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	h, err := NewHetis(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.Poisson(workload.ShareGPT, 6, 60, 99)
+	res, err := h.Run(reqs, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGreedyDispatchOptionServes(t *testing.T) {
+	res := pressuredSetup(t, func(c *Config) { c.GreedyDispatch = true })
+	if res.Completed == 0 {
+		t.Fatal("greedy engine served nothing")
+	}
+	if res.Recorder.NormLatencySummary().Mean <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestBlockingMigrationOptionServes(t *testing.T) {
+	res := pressuredSetup(t, func(c *Config) { c.BlockingMigration = true })
+	if res.Completed == 0 {
+		t.Fatal("blocking-migration engine served nothing")
+	}
+}
+
+func TestRedispatchFiresUnderPressure(t *testing.T) {
+	res := pressuredSetup(t, nil)
+	if res.Migrations == 0 {
+		t.Fatal("no §5.3 migrations under a pressured trace")
+	}
+	if res.MigratedBytes == 0 {
+		t.Fatal("migrations recorded but no bytes moved")
+	}
+}
+
+func TestDisableRedispatchNeverMigrates(t *testing.T) {
+	res := pressuredSetup(t, func(c *Config) { c.DisableRedispatch = true })
+	if res.Migrations != 0 {
+		t.Fatalf("DisableRedispatch still migrated %d times", res.Migrations)
+	}
+}
+
+func TestPressuredDeterminism(t *testing.T) {
+	// The pressured path (evictions, migrations, re-dispatching) must be
+	// bit-for-bit deterministic.
+	a := pressuredSetup(t, nil)
+	b := pressuredSetup(t, nil)
+	if a.Completed != b.Completed || a.Evictions != b.Evictions ||
+		a.Migrations != b.Migrations || a.MigratedBytes != b.MigratedBytes ||
+		a.Horizon != b.Horizon {
+		t.Fatalf("pressured runs diverge: %+v vs %+v",
+			[5]any{a.Completed, a.Evictions, a.Migrations, a.MigratedBytes, a.Horizon},
+			[5]any{b.Completed, b.Evictions, b.Migrations, b.MigratedBytes, b.Horizon})
+	}
+	sa, sb := a.Recorder.NormLatencySummary(), b.Recorder.NormLatencySummary()
+	if sa != sb {
+		t.Fatalf("latency summaries diverge: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestRebalanceEveryExtremes(t *testing.T) {
+	// Rebalancing every iteration and (almost) never must both serve.
+	often := pressuredSetup(t, func(c *Config) { c.RebalanceEvery = 1 })
+	rare := pressuredSetup(t, func(c *Config) { c.RebalanceEvery = 1 << 30 })
+	if often.Completed == 0 || rare.Completed == 0 {
+		t.Fatalf("extreme RebalanceEvery failed to serve: %d / %d", often.Completed, rare.Completed)
+	}
+	// With rebalancing effectively off, only memory-pressure migrations
+	// remain, so the frequent config must migrate at least as much.
+	if often.Migrations < rare.Migrations {
+		t.Errorf("RebalanceEvery=1 migrated less (%d) than never (%d)", often.Migrations, rare.Migrations)
+	}
+}
+
+func TestContextWindowTruncation(t *testing.T) {
+	// An OPT model (2048 window) served a LongBench trace must clamp
+	// contexts rather than fail or run unbounded prompts.
+	cfg := DefaultConfig(model.OPT13B, hardware.PaperCluster())
+	reqs := workload.Poisson(workload.LongBench, 1, 20, 5)
+	oversized := 0
+	for _, r := range reqs {
+		if r.TotalLen() > model.OPT13B.MaxSeqLen {
+			oversized++
+		}
+	}
+	if oversized == 0 {
+		t.Skip("trace has no oversized requests; nothing to verify")
+	}
+	plan, err := PlanForWorkload(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHetis(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Run(reqs, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(reqs) {
+		t.Fatalf("completed %d of %d truncated requests", res.Completed, len(reqs))
+	}
+	for _, rec := range res.Recorder.Records() {
+		if rec.PromptLen+rec.OutputLen > model.OPT13B.MaxSeqLen {
+			t.Fatalf("request %d served beyond the context window: %d+%d",
+				rec.ID, rec.PromptLen, rec.OutputLen)
+		}
+	}
+}
+
+func TestImpossibleRequestIsDropped(t *testing.T) {
+	// A request whose context can never fit anywhere must be dropped (with
+	// a trace note) rather than wedging the queue.
+	cluster := hardware.NewBuilder(hardware.LAN100G).
+		AddHost("a100", hardware.PCIe4x16, hardware.A100, 1).
+		MustBuild()
+	m := model.Llama13B
+	m.MaxSeqLen = 0 // disable truncation so the giant context survives
+	plan := &parallelizer.Plan{Instances: []parallelizer.Instance{{
+		Stages: []parallelizer.Stage{{
+			Spec: hardware.A100, Devices: []hardware.DeviceID{0},
+			TP: 1, PP: 1, Layers: m.Layers,
+		}},
+	}}}
+	cfg := DefaultConfig(m, cluster)
+	h, err := NewHetis(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []workload.Request{
+		{ID: 0, ArrivalAt: 0, PromptLen: 200000, OutputLen: 10}, // impossible
+		{ID: 1, ArrivalAt: 0, PromptLen: 200, OutputLen: 10},    // fine
+	}
+	res, err := h.Run(reqs, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed %d, want 1 (giant dropped, small served)", res.Completed)
+	}
+}

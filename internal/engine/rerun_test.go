@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"testing"
+
+	"hetis/internal/hardware"
+	"hetis/internal/model"
+	"hetis/internal/workload"
+)
+
+// Engines are long-lived objects in a real deployment; running the same
+// engine twice must not leak state from the first run into the second.
+
+func TestHetisRunTwice(t *testing.T) {
+	reqs := workload.Poisson(workload.ShareGPT, 3, 15, 21)
+	h := buildHetis(t, model.Llama13B, reqs)
+	a, err := h.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Horizon != b.Horizon {
+		t.Fatalf("second run diverged: %d@%g vs %d@%g", a.Completed, a.Horizon, b.Completed, b.Horizon)
+	}
+}
+
+func TestHexGenRunTwice(t *testing.T) {
+	cfg := DefaultConfig(model.Llama13B, hardware.PaperCluster())
+	hx, err := NewHexGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.Poisson(workload.HumanEval, 4, 15, 22)
+	a, err := hx.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hx.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Horizon != b.Horizon {
+		t.Fatalf("second run diverged: %d@%g vs %d@%g", a.Completed, a.Horizon, b.Completed, b.Horizon)
+	}
+}
+
+func TestSplitwiseRunTwice(t *testing.T) {
+	cfg := DefaultConfig(model.Llama13B, hardware.PaperCluster())
+	sw, err := NewSplitwise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.Poisson(workload.HumanEval, 4, 15, 23)
+	a, err := sw.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sw.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Horizon != b.Horizon {
+		t.Fatalf("second run diverged: %d@%g vs %d@%g", a.Completed, a.Horizon, b.Completed, b.Horizon)
+	}
+}
+
+func TestVLLMRunTwice(t *testing.T) {
+	cfg := DefaultConfig(model.Llama13B, hardware.PaperCluster())
+	v, err := NewVLLM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.Poisson(workload.ShareGPT, 3, 15, 24)
+	a, err := v.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Horizon != b.Horizon {
+		t.Fatalf("second run diverged: %d@%g vs %d@%g", a.Completed, a.Horizon, b.Completed, b.Horizon)
+	}
+}
+
+func TestSplitwiseHandoffSerialization(t *testing.T) {
+	// Two requests prefilled in one batch must hand off back to back on
+	// the NIC: migration count equals decoded requests and migrated bytes
+	// equal the sum of their full-context KV.
+	cfg := DefaultConfig(model.Llama13B, hardware.PaperCluster())
+	sw, err := NewSplitwise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []workload.Request{
+		{ID: 0, ArrivalAt: 0, PromptLen: 400, OutputLen: 8},
+		{ID: 1, ArrivalAt: 0, PromptLen: 600, OutputLen: 8},
+	}
+	res, err := sw.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 2 {
+		t.Fatalf("want 2 handoffs, got %d", res.Migrations)
+	}
+	kv := model.Llama13B.KVBytesPerToken()
+	want := (400 + 1 + 600 + 1) * kv // context includes the first token
+	if res.MigratedBytes != want {
+		t.Fatalf("migrated %d bytes, want %d", res.MigratedBytes, want)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}

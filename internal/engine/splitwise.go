@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"fmt"
+
+	"hetis/internal/hardware"
+	"hetis/internal/metrics"
+	"hetis/internal/parallelizer"
+	"hetis/internal/perf"
+	"hetis/internal/sim"
+	"hetis/internal/trace"
+	"hetis/internal/workload"
+)
+
+// Splitwise is the phase-splitting baseline (§7.1): high-end GPUs form a
+// dedicated prefill instance, the rest a decode pipeline, and every request
+// hands its KV cache across the network between the phases. Both instances
+// hold a full copy of the model — the memory inefficiency of Fig. 1(a).
+type Splitwise struct {
+	cfg     Config
+	est     *perf.Estimator
+	prefill *staticPipeline
+	decode  *staticPipeline
+}
+
+// NewSplitwise plans the phase split: the top GPU tier preferably serves
+// prefill alone; if the remaining devices cannot hold the model weights,
+// top-tier devices move to the decode side until both instances fit (the
+// prefill side always keeps at least one device).
+func NewSplitwise(cfg Config) (*Splitwise, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	est := perf.New(cfg.Model)
+	groups := cfg.Cluster.DevicesByType()
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("engine: splitwise needs at least two GPU types (or split within one type)")
+	}
+	top := groups[0]
+	rest := groups[1:]
+
+	for keep := len(top.IDs); keep >= 1; keep /= 2 {
+		prefillGroup := hardware.TypeGroup{Spec: top.Spec, IDs: top.IDs[:keep]}
+		decodeGroups := append([]hardware.TypeGroup{}, rest...)
+		if keep < len(top.IDs) {
+			decodeGroups = append([]hardware.TypeGroup{{Spec: top.Spec, IDs: top.IDs[keep:]}}, decodeGroups...)
+		}
+		pre, errP := buildStaticPipeline(cfg, est, cfg.Cluster, []hardware.TypeGroup{prefillGroup}, 8)
+		dec, errD := buildStaticPipeline(cfg, est, cfg.Cluster, decodeGroups, 32)
+		if errP == nil && errD == nil {
+			return &Splitwise{cfg: cfg, est: est, prefill: pre, decode: dec}, nil
+		}
+		if keep == 1 {
+			if errP != nil {
+				return nil, fmt.Errorf("engine: splitwise prefill side: %w", errP)
+			}
+			return nil, fmt.Errorf("engine: splitwise decode side: %w", errD)
+		}
+	}
+	return nil, fmt.Errorf("engine: splitwise could not split %s", cfg.Model.Name)
+}
+
+// Name implements Engine.
+func (sw *Splitwise) Name() string { return "splitwise" }
+
+// CacheCapacity implements Engine: only the decode side hosts long-lived
+// KV cache; the prefill side's space is transient and does not add serving
+// capacity (§2.3).
+func (sw *Splitwise) CacheCapacity() int64 { return sw.decode.cacheCapacityBytes(sw.cfg.Model) }
+
+// PrefillStages and DecodeStages expose the layout.
+func (sw *Splitwise) PrefillStages() []parallelizer.Stage { return sw.prefill.stages }
+
+// DecodeStages exposes the decode pipeline layout.
+func (sw *Splitwise) DecodeStages() []parallelizer.Stage { return sw.decode.stages }
+
+// Run implements Engine.
+func (sw *Splitwise) Run(reqs []workload.Request, horizon float64) (*Result, error) {
+	reqs = workload.Truncate(reqs, sw.cfg.Model.MaxSeqLen) // clamp to the context window
+	res := &Result{
+		Engine:        sw.Name(),
+		Recorder:      metrics.NewRecorder(),
+		Trace:         &trace.Log{},
+		CacheCapacity: sw.CacheCapacity(),
+	}
+	sw.prefill.usedTokens = 0 // fresh run
+	sw.decode.usedTokens = 0
+	rt := &splitwiseRuntime{sw: sw, res: res, seq: map[int64]int64{}}
+	s := sim.New()
+	s.MaxEvents = 20_000_000
+	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
+		rt.prefillQ.push(r)
+		rt.seq[r.wl.ID] = rt.nextSeq
+		rt.nextSeq++
+		res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
+		rt.kickPrefill(s)
+	})
+	if err := s.Run(horizon); err != nil {
+		return nil, err
+	}
+	res.Horizon = s.Now()
+	return res, nil
+}
+
+type splitwiseRuntime struct {
+	sw  *Splitwise
+	res *Result
+
+	prefillQ    queue
+	prefillBusy bool
+	// inPrefill tracks tokens resident on the prefill side.
+	inPrefill int64
+
+	// transferFree is when the prefill→decode link next frees up;
+	// transfers of different requests serialize on it.
+	transferFree float64
+
+	decodeQ    queue
+	running    []*request
+	decodeBusy bool
+
+	seq     map[int64]int64
+	nextSeq int64
+}
+
+func (rt *splitwiseRuntime) kickPrefill(s *sim.Simulator) {
+	if rt.prefillBusy {
+		return
+	}
+	rt.prefillBusy = true
+	s.After(0, "sw-prefill-step", rt.prefillStep)
+}
+
+func (rt *splitwiseRuntime) prefillStep(s *sim.Simulator) {
+	cfg := rt.sw.cfg
+	var admitted []*request
+	tokens := 0
+	for rt.prefillQ.len() > 0 && len(admitted) < cfg.MaxPrefillRequests {
+		r := rt.prefillQ.peek()
+		ctx := int64(r.restartCtx)
+		if ctx > rt.sw.prefill.tokenCap {
+			rt.prefillQ.pop() // cannot ever prefill
+			rt.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: exceeds prefill cache")
+			continue
+		}
+		if rt.inPrefill+ctx > rt.sw.prefill.tokenCap && len(admitted) > 0 {
+			break
+		}
+		if tokens+int(ctx) > cfg.MaxPrefillTokens && len(admitted) > 0 {
+			break
+		}
+		rt.prefillQ.pop()
+		rt.inPrefill += ctx
+		tokens += int(ctx)
+		admitted = append(admitted, r)
+	}
+	if len(admitted) == 0 {
+		rt.prefillBusy = false
+		return
+	}
+	prompts := make([]int, len(admitted))
+	for i, r := range admitted {
+		prompts[i] = r.restartCtx
+	}
+	dt := rt.sw.prefill.prefillTime(rt.sw.est, cfg, prompts)
+	s.After(dt, "sw-prefill-done", func(s *sim.Simulator) {
+		for _, r := range admitted {
+			if r.firstTok == 0 {
+				r.firstTok = s.Now()
+			}
+			if r.generated == 0 {
+				r.generated = 1
+			}
+			rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindPrefill, Request: r.wl.ID, Value: float64(r.restartCtx)})
+			if r.done() {
+				rt.inPrefill -= int64(r.restartCtx)
+				recordFinish(rt.res.Recorder, r, s.Now())
+				rt.res.Completed++
+				continue
+			}
+			rt.scheduleHandoff(s, r)
+		}
+		// The next prefill batch waits for this batch's KV handoffs to
+		// drain the NIC: the phase split forces a full-context cache
+		// transfer per request, which interferes with prefill (§2.3).
+		if rt.transferFree > s.Now() {
+			s.Schedule(rt.transferFree, "sw-prefill-nic", rt.prefillStep)
+			return
+		}
+		rt.prefillStep(s)
+	})
+}
+
+// scheduleHandoff ships the request's KV cache to the decode instance over
+// the cluster interconnect; transfers serialize on the link.
+func (rt *splitwiseRuntime) scheduleHandoff(s *sim.Simulator, r *request) {
+	m := rt.sw.cfg.Model
+	bytes := int64(r.contextLen()) * m.KVBytesPerToken()
+	link := rt.sw.cfg.Cluster.InterLink
+	start := s.Now()
+	if rt.transferFree > start {
+		start = rt.transferFree
+	}
+	done := start + perf.P2PTime(link, bytes)
+	rt.transferFree = done
+	rt.res.Migrations++
+	rt.res.MigratedBytes += bytes
+	s.Schedule(done, "sw-handoff", func(s *sim.Simulator) {
+		rt.inPrefill -= int64(r.restartCtx)
+		rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindMigration, Request: r.wl.ID, Value: float64(bytes)})
+		rt.decodeQ.push(r)
+		rt.kickDecode(s)
+		rt.kickPrefill(s)
+	})
+}
+
+func (rt *splitwiseRuntime) kickDecode(s *sim.Simulator) {
+	if rt.decodeBusy {
+		return
+	}
+	rt.decodeBusy = true
+	s.After(0, "sw-decode-step", rt.decodeStep)
+}
+
+func (rt *splitwiseRuntime) decodeStep(s *sim.Simulator) {
+	cfg := rt.sw.cfg
+	dec := rt.sw.decode
+	// Admit transferred requests while cache allows.
+	for rt.decodeQ.len() > 0 && len(rt.running) < cfg.MaxRunning {
+		r := rt.decodeQ.peek()
+		ctx := int64(r.contextLen())
+		if dec.usedTokens+ctx > dec.tokenCap {
+			if len(rt.running) == 0 && ctx > dec.tokenCap {
+				rt.decodeQ.pop()
+				rt.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: exceeds decode cache")
+				continue
+			}
+			break
+		}
+		rt.decodeQ.pop()
+		dec.usedTokens += ctx
+		rt.running = append(rt.running, r)
+	}
+	if len(rt.running) == 0 {
+		rt.decodeBusy = false
+		return
+	}
+	var ctxTokens int64
+	for _, r := range rt.running {
+		ctxTokens += int64(r.contextLen())
+	}
+	dt, dense, attn := dec.decodeTime(rt.sw.est, cfg, len(rt.running), ctxTokens)
+	rt.res.DenseTimes = append(rt.res.DenseTimes, moduleLatency(dense))
+	rt.res.AttnTimes = append(rt.res.AttnTimes, moduleLatency(attn))
+	s.After(dt, "sw-decode-done", func(s *sim.Simulator) {
+		rt.afterDecode(s)
+		rt.decodeStep(s)
+	})
+}
+
+func (rt *splitwiseRuntime) afterDecode(s *sim.Simulator) {
+	dec := rt.sw.decode
+	var still []*request
+	for _, r := range rt.running {
+		r.generated++
+		dec.usedTokens++
+		if r.done() {
+			dec.usedTokens -= int64(r.contextLen())
+			recordFinish(rt.res.Recorder, r, s.Now())
+			rt.res.Completed++
+			rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
+			continue
+		}
+		still = append(still, r)
+	}
+	rt.running = still
+	// Cache overflow → LIFO preemption; victims must re-prefill and
+	// re-transfer.
+	for dec.usedTokens > dec.tokenCap && len(rt.running) > 0 {
+		victimIdx := 0
+		for i, r := range rt.running {
+			if rt.seq[r.wl.ID] > rt.seq[rt.running[victimIdx].wl.ID] {
+				victimIdx = i
+			}
+		}
+		v := rt.running[victimIdx]
+		rt.running = append(rt.running[:victimIdx], rt.running[victimIdx+1:]...)
+		dec.usedTokens -= int64(v.contextLen())
+		v.evicted = true
+		v.restartCtx = v.contextLen()
+		rt.prefillQ.pushFront(v)
+		rt.res.Evictions++
+		rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindEviction, Request: v.wl.ID})
+		rt.kickPrefill(s)
+	}
+	if dec.usedTokens < 0 {
+		dec.usedTokens = 0
+	}
+	if used := dec.usedTokens * rt.sw.cfg.Model.KVBytesPerToken(); used > rt.res.PeakCacheUsed {
+		rt.res.PeakCacheUsed = used
+	}
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+
+	"hetis/internal/hardware"
+	"hetis/internal/metrics"
+	"hetis/internal/parallelizer"
+	"hetis/internal/perf"
+	"hetis/internal/sim"
+	"hetis/internal/trace"
+	"hetis/internal/workload"
+)
+
+// VLLM is a homogeneous reference system: vLLM-style tensor-parallel
+// serving on the cluster's top GPU tier only, ignoring every low-end
+// device. It answers the motivating question of §1 — how much do the
+// heterogeneous leftovers actually buy — by providing the
+// high-end-only floor that Hetis must beat to justify itself.
+type VLLM struct {
+	cfg  Config
+	est  *perf.Estimator
+	pipe *staticPipeline
+}
+
+// NewVLLM builds the reference engine on the highest-tier GPU type.
+func NewVLLM(cfg Config) (*VLLM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	est := perf.New(cfg.Model)
+	groups := cfg.Cluster.DevicesByType()
+	top := groups[:1]
+	pipe, err := buildStaticPipeline(cfg, est, cfg.Cluster, top, 32)
+	if err != nil {
+		return nil, fmt.Errorf("engine: vllm: %w", err)
+	}
+	return &VLLM{cfg: cfg, est: est, pipe: pipe}, nil
+}
+
+// Name implements Engine.
+func (v *VLLM) Name() string { return "vllm" }
+
+// CacheCapacity implements Engine.
+func (v *VLLM) CacheCapacity() int64 { return v.pipe.cacheCapacityBytes(v.cfg.Model) }
+
+// Stages exposes the layout.
+func (v *VLLM) Stages() []parallelizer.Stage { return v.pipe.stages }
+
+// Devices lists the GPUs the reference engine actually uses.
+func (v *VLLM) Devices() []hardware.DeviceID {
+	var out []hardware.DeviceID
+	for _, st := range v.pipe.stages {
+		out = append(out, st.Devices...)
+	}
+	return out
+}
+
+// Run implements Engine, reusing the colocated static runtime.
+func (v *VLLM) Run(reqs []workload.Request, horizon float64) (*Result, error) {
+	reqs = workload.Truncate(reqs, v.cfg.Model.MaxSeqLen)
+	res := &Result{
+		Engine:        v.Name(),
+		Recorder:      metrics.NewRecorder(),
+		Trace:         &trace.Log{},
+		CacheCapacity: v.CacheCapacity(),
+	}
+	v.pipe.usedTokens = 0
+	rt := &staticRuntime{
+		cfg:  v.cfg,
+		est:  v.est,
+		pipe: v.pipe,
+		res:  res,
+		byID: map[int64]*request{},
+		seq:  map[int64]int64{},
+	}
+	s := sim.New()
+	s.MaxEvents = 20_000_000
+	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
+		rt.waiting.push(r)
+		rt.seq[r.wl.ID] = rt.nextSeq
+		rt.nextSeq++
+		res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
+		rt.kick(s)
+	})
+	if err := s.Run(horizon); err != nil {
+		return nil, err
+	}
+	res.Horizon = s.Now()
+	return res, nil
+}

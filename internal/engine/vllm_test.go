@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"testing"
+
+	"hetis/internal/hardware"
+	"hetis/internal/model"
+	"hetis/internal/workload"
+)
+
+func TestVLLMUsesOnlyTopTier(t *testing.T) {
+	cfg := DefaultConfig(model.Llama13B, hardware.PaperCluster())
+	v, err := NewVLLM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "vllm" {
+		t.Fatalf("name = %q", v.Name())
+	}
+	c := hardware.PaperCluster()
+	devs := v.Devices()
+	if len(devs) != 4 {
+		t.Fatalf("vllm uses %d devices, want the 4 A100s", len(devs))
+	}
+	for _, id := range devs {
+		if c.Device(id).Spec.Name != "A100" {
+			t.Fatalf("vllm used a %s", c.Device(id).Spec.Name)
+		}
+	}
+}
+
+func TestVLLMServesTrace(t *testing.T) {
+	cfg := DefaultConfig(model.Llama13B, hardware.PaperCluster())
+	v, err := NewVLLM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.Poisson(workload.HumanEval, 5, 15, 3)
+	res, err := v.Run(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(reqs) {
+		t.Fatalf("completed %d of %d", res.Completed, len(reqs))
+	}
+}
+
+func TestVLLMRejectsOversizedModel(t *testing.T) {
+	// Llama-70B does not fit on a single P100 host's "top tier".
+	small := hardware.NewBuilder(hardware.LAN100G).
+		AddHost("p", hardware.PCIe3x16, hardware.P100, 4).
+		MustBuild()
+	cfg := DefaultConfig(model.Llama70B, small)
+	if _, err := NewVLLM(cfg); err == nil {
+		t.Fatal("70B on 4xP100 should be rejected")
+	}
+}
+
+func TestVLLMCacheSmallerThanHetis(t *testing.T) {
+	// The reference leaves 8 GPUs idle; Hetis must expose more cache.
+	cfg := DefaultConfig(model.Llama13B, hardware.PaperCluster())
+	v, err := NewVLLM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanForWorkload(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHetis(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CacheCapacity() >= h.CacheCapacity() {
+		t.Fatalf("vllm cache %d should be below hetis %d", v.CacheCapacity(), h.CacheCapacity())
+	}
+}

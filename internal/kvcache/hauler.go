@@ -1,0 +1,98 @@
+package kvcache
+
+import "fmt"
+
+// Move is one leg of a migration plan: transfer `Groups` head groups with
+// `Tokens` of context from device From to device To.
+type Move struct {
+	From, To int
+	Groups   int
+	Tokens   int
+	Bytes    int64
+}
+
+// PlanMigration computes the minimal set of group moves that turns the old
+// head-group placement of a request into the new one, reusing overlap: a
+// device keeps min(old, new) of its groups in place (§5.3's partial cache
+// transmission). Placements map device index → group count; tokens is the
+// request's context length and bytesPerGroupToken its per-group-token
+// footprint on the wire.
+//
+// The returned moves pair surplus devices with deficit devices greedily in
+// ascending device order, which is optimal in total bytes because every
+// group costs the same to move regardless of endpoints.
+func PlanMigration(old, new map[int]int, tokens int, bytesPerGroupToken int64) ([]Move, error) {
+	totalOld, totalNew := 0, 0
+	for d, g := range old {
+		if g < 0 {
+			return nil, fmt.Errorf("kvcache: negative group count %d on device %d", g, d)
+		}
+		totalOld += g
+	}
+	for d, g := range new {
+		if g < 0 {
+			return nil, fmt.Errorf("kvcache: negative group count %d on device %d", g, d)
+		}
+		totalNew += g
+	}
+	if totalOld != totalNew {
+		return nil, fmt.Errorf("kvcache: placement changes total groups %d -> %d", totalOld, totalNew)
+	}
+
+	maxDev := -1
+	for d := range old {
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	for d := range new {
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+
+	type delta struct{ dev, n int }
+	var surplus, deficit []delta
+	for d := 0; d <= maxDev; d++ {
+		diff := old[d] - new[d]
+		if diff > 0 {
+			surplus = append(surplus, delta{d, diff})
+		} else if diff < 0 {
+			deficit = append(deficit, delta{d, -diff})
+		}
+	}
+
+	var moves []Move
+	i, j := 0, 0
+	for i < len(surplus) && j < len(deficit) {
+		n := surplus[i].n
+		if deficit[j].n < n {
+			n = deficit[j].n
+		}
+		moves = append(moves, Move{
+			From:   surplus[i].dev,
+			To:     deficit[j].dev,
+			Groups: n,
+			Tokens: tokens,
+			Bytes:  int64(n) * int64(tokens) * bytesPerGroupToken,
+		})
+		surplus[i].n -= n
+		deficit[j].n -= n
+		if surplus[i].n == 0 {
+			i++
+		}
+		if deficit[j].n == 0 {
+			j++
+		}
+	}
+	return moves, nil
+}
+
+// TotalMoveBytes sums the payload of a plan.
+func TotalMoveBytes(moves []Move) int64 {
+	var total int64
+	for _, m := range moves {
+		total += m.Bytes
+	}
+	return total
+}

@@ -1,0 +1,163 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanMigrationReusesOverlap(t *testing.T) {
+	// Device 0 keeps 3 of its 5 groups; only 2 move to device 1.
+	old := map[int]int{0: 5, 1: 0}
+	new := map[int]int{0: 3, 1: 2}
+	moves, err := PlanMigration(old, new, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 {
+		t.Fatalf("want 1 move, got %v", moves)
+	}
+	m := moves[0]
+	if m.From != 0 || m.To != 1 || m.Groups != 2 {
+		t.Fatalf("move = %+v want 2 groups 0->1", m)
+	}
+	if m.Bytes != 2*100*64 {
+		t.Fatalf("bytes = %d want %d", m.Bytes, 2*100*64)
+	}
+}
+
+func TestPlanMigrationIdentityIsFree(t *testing.T) {
+	old := map[int]int{0: 4, 2: 4}
+	moves, err := PlanMigration(old, old, 500, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("identity plan should have no moves, got %v", moves)
+	}
+}
+
+func TestPlanMigrationMultiWay(t *testing.T) {
+	old := map[int]int{0: 6}
+	new := map[int]int{1: 2, 2: 2, 3: 2}
+	moves, err := PlanMigration(old, new, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalMoveBytes(moves) != 60 {
+		t.Fatalf("total bytes = %d want 60", TotalMoveBytes(moves))
+	}
+	moved := 0
+	for _, m := range moves {
+		if m.From != 0 {
+			t.Fatalf("all moves should come from device 0: %+v", m)
+		}
+		moved += m.Groups
+	}
+	if moved != 6 {
+		t.Fatalf("moved %d groups want 6", moved)
+	}
+}
+
+func TestPlanMigrationErrors(t *testing.T) {
+	if _, err := PlanMigration(map[int]int{0: 2}, map[int]int{0: 3}, 1, 1); err == nil {
+		t.Error("group-count change should error")
+	}
+	if _, err := PlanMigration(map[int]int{0: -1}, map[int]int{0: -1}, 1, 1); err == nil {
+		t.Error("negative groups should error")
+	}
+}
+
+func TestPropertyMigrationConservesGroups(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nDev := 2 + rng.Intn(5)
+		total := 1 + rng.Intn(20)
+		// Random old and new placements of the same total.
+		place := func() map[int]int {
+			p := map[int]int{}
+			left := total
+			for d := 0; d < nDev-1; d++ {
+				g := rng.Intn(left + 1)
+				if g > 0 {
+					p[d] = g
+				}
+				left -= g
+			}
+			if left > 0 {
+				p[nDev-1] = left
+			}
+			return p
+		}
+		old, new := place(), place()
+		moves, err := PlanMigration(old, new, 100, 8)
+		if err != nil {
+			return false
+		}
+		// Apply the moves to old; must land exactly on new.
+		got := map[int]int{}
+		for d, g := range old {
+			got[d] = g
+		}
+		for _, m := range moves {
+			got[m.From] -= m.Groups
+			got[m.To] += m.Groups
+			if got[m.From] < 0 {
+				return false
+			}
+		}
+		for d := 0; d < nDev; d++ {
+			if got[d] != new[d] {
+				return false
+			}
+		}
+		// Minimality: moved groups == total deficit.
+		deficit := 0
+		for d, g := range new {
+			if g > old[d] {
+				deficit += g - old[d]
+			}
+		}
+		moved := 0
+		for _, m := range moves {
+			moved += m.Groups
+		}
+		return moved == deficit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMgmtCostFig15bShape(t *testing.T) {
+	// Paper: head-wise management costs ~13% more on the store path and
+	// ~26% less on the fetch path. Check the model lands in those
+	// neighbourhoods for a typical OPT-30B-like setup: 56 head groups,
+	// 1024-token context with 16-token blocks (64 blocks).
+	m := DefaultMgmtCost()
+	groups, blocks := 40, 64
+
+	storeRatio := m.HeadWiseStore(groups) / m.TokenWiseStore()
+	fetchRatio := m.HeadWiseFetch(groups, blocks) / m.TokenWiseFetch(blocks)
+	t.Logf("store overhead %+.0f%%, fetch change %+.0f%%", (storeRatio-1)*100, (fetchRatio-1)*100)
+
+	if storeRatio < 1.05 || storeRatio > 1.30 {
+		t.Errorf("store ratio %.2f outside paper-like band [1.05,1.30]", storeRatio)
+	}
+	if fetchRatio > 0.90 || fetchRatio < 0.55 {
+		t.Errorf("fetch ratio %.2f outside paper-like band [0.55,0.90]", fetchRatio)
+	}
+}
+
+func TestMgmtCostDegenerateCores(t *testing.T) {
+	m := DefaultMgmtCost()
+	m.Cores = 0 // must clamp to 1, not divide by zero
+	if got := m.HeadWiseFetch(4, 4); got <= 0 {
+		t.Fatalf("HeadWiseFetch with 0 cores = %g", got)
+	}
+	// Single-core head-wise fetch must cost at least token-wise.
+	m.Cores = 1
+	if m.HeadWiseFetch(4, 16) < m.TokenWiseFetch(16) {
+		t.Error("single-core head-wise fetch cannot be cheaper than token-wise")
+	}
+}

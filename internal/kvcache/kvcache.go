@@ -1,0 +1,305 @@
+// Package kvcache implements Hetis' head-granular paged KV-cache management
+// (§6). Like vLLM, device memory is carved into fixed-size blocks; unlike
+// vLLM, a block belongs to a single (request, KV head group) pair, so the
+// cache of one request can be spread over several devices at head
+// granularity and migrated partially.
+//
+// The manager tracks one device. Engines create one manager per GPU and a
+// Hauler moves blocks between them.
+package kvcache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// RequestID identifies a serving request.
+type RequestID int64
+
+// ErrNoSpace is returned when a device cannot host the requested blocks.
+var ErrNoSpace = errors.New("kvcache: out of cache blocks")
+
+// Config shapes a device cache.
+type Config struct {
+	// BlockTokens is the number of tokens per block (vLLM default 16).
+	BlockTokens int
+	// BytesPerGroupToken is the cache footprint of one token of one KV
+	// head group across the layers hosted on the device.
+	BytesPerGroupToken int64
+	// CapacityBytes is the device memory budget for KV cache.
+	CapacityBytes int64
+}
+
+// BlockBytes is the footprint of one block.
+func (c Config) BlockBytes() int64 {
+	return int64(c.BlockTokens) * c.BytesPerGroupToken
+}
+
+// entry is the per-request state on one device.
+type entry struct {
+	groups  int
+	tokens  int
+	blocks  int   // groups * ceil(tokens/blockTokens)
+	arrival int64 // allocation sequence, drives modified-LIFO eviction
+}
+
+// Manager allocates head-group cache blocks on one device.
+type Manager struct {
+	cfg         Config
+	totalBlocks int
+	freeBlocks  int
+	reqs        map[RequestID]*entry
+	nextArrival int64
+	// Ops counters, used by the management-overhead experiment (Fig. 15b).
+	storeOps int64
+	fetchOps int64
+}
+
+// NewManager creates a manager with the given geometry.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.BlockTokens <= 0 {
+		return nil, fmt.Errorf("kvcache: BlockTokens must be positive, got %d", cfg.BlockTokens)
+	}
+	if cfg.BytesPerGroupToken <= 0 {
+		return nil, fmt.Errorf("kvcache: BytesPerGroupToken must be positive, got %d", cfg.BytesPerGroupToken)
+	}
+	if cfg.CapacityBytes < 0 {
+		return nil, fmt.Errorf("kvcache: negative capacity %d", cfg.CapacityBytes)
+	}
+	return &Manager{
+		cfg:         cfg,
+		totalBlocks: int(cfg.CapacityBytes / cfg.BlockBytes()),
+		freeBlocks:  int(cfg.CapacityBytes / cfg.BlockBytes()),
+		reqs:        make(map[RequestID]*entry),
+	}, nil
+}
+
+// Config returns the manager geometry.
+func (m *Manager) Config() Config { return m.cfg }
+
+// TotalBlocks is the device block capacity.
+func (m *Manager) TotalBlocks() int { return m.totalBlocks }
+
+// FreeBlocks is the number of unallocated blocks.
+func (m *Manager) FreeBlocks() int { return m.freeBlocks }
+
+// UsedBlocks is the number of allocated blocks.
+func (m *Manager) UsedBlocks() int { return m.totalBlocks - m.freeBlocks }
+
+// UsedBytes is the allocated cache volume.
+func (m *Manager) UsedBytes() int64 { return int64(m.UsedBlocks()) * m.cfg.BlockBytes() }
+
+// FreeBytes is the unallocated cache volume.
+func (m *Manager) FreeBytes() int64 { return int64(m.freeBlocks) * m.cfg.BlockBytes() }
+
+// CapacityBytes is the total cache volume the device can hold.
+func (m *Manager) CapacityBytes() int64 { return int64(m.totalBlocks) * m.cfg.BlockBytes() }
+
+// Utilization is UsedBlocks/TotalBlocks in [0,1].
+func (m *Manager) Utilization() float64 {
+	if m.totalBlocks == 0 {
+		return 0
+	}
+	return float64(m.UsedBlocks()) / float64(m.totalBlocks)
+}
+
+// blocksFor computes the blocks needed by groups × tokens.
+func (m *Manager) blocksFor(groups, tokens int) int {
+	perGroup := (tokens + m.cfg.BlockTokens - 1) / m.cfg.BlockTokens
+	return groups * perGroup
+}
+
+// CanAlloc reports whether groups head groups with tokens of context fit.
+func (m *Manager) CanAlloc(groups, tokens int) bool {
+	return m.blocksFor(groups, tokens) <= m.freeBlocks
+}
+
+// Alloc reserves cache for `groups` KV head groups of request id, each with
+// `tokens` of context. A request may be allocated only once per device;
+// use Extend to grow it or GrowGroups to add head groups.
+func (m *Manager) Alloc(id RequestID, groups, tokens int) error {
+	if groups <= 0 || tokens < 0 {
+		return fmt.Errorf("kvcache: invalid allocation groups=%d tokens=%d", groups, tokens)
+	}
+	if _, exists := m.reqs[id]; exists {
+		return fmt.Errorf("kvcache: request %d already allocated on device", id)
+	}
+	need := m.blocksFor(groups, tokens)
+	if need > m.freeBlocks {
+		return fmt.Errorf("%w: need %d blocks, %d free", ErrNoSpace, need, m.freeBlocks)
+	}
+	m.freeBlocks -= need
+	m.reqs[id] = &entry{groups: groups, tokens: tokens, blocks: need, arrival: m.nextArrival}
+	m.nextArrival++
+	m.storeOps += int64(groups) // one block-table insert per head group
+	return nil
+}
+
+// Extend grows request id by n tokens across all its head groups,
+// allocating new blocks when a group's last block fills up.
+func (m *Manager) Extend(id RequestID, n int) error {
+	e, ok := m.reqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: request %d not on device", id)
+	}
+	if n < 0 {
+		return fmt.Errorf("kvcache: negative extension %d", n)
+	}
+	newBlocks := m.blocksFor(e.groups, e.tokens+n)
+	delta := newBlocks - e.blocks
+	if delta > m.freeBlocks {
+		return fmt.Errorf("%w: extension needs %d blocks, %d free", ErrNoSpace, delta, m.freeBlocks)
+	}
+	m.freeBlocks -= delta
+	e.tokens += n
+	e.blocks = newBlocks
+	m.storeOps += int64(e.groups) // per-group append
+	return nil
+}
+
+// GrowGroups adds extra head groups at the request's current context
+// length (used when re-dispatching moves heads onto this device).
+func (m *Manager) GrowGroups(id RequestID, extra int) error {
+	e, ok := m.reqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: request %d not on device", id)
+	}
+	if extra <= 0 {
+		return fmt.Errorf("kvcache: GrowGroups needs positive extra, got %d", extra)
+	}
+	newBlocks := m.blocksFor(e.groups+extra, e.tokens)
+	delta := newBlocks - e.blocks
+	if delta > m.freeBlocks {
+		return fmt.Errorf("%w: growth needs %d blocks, %d free", ErrNoSpace, delta, m.freeBlocks)
+	}
+	m.freeBlocks -= delta
+	e.groups += extra
+	e.blocks = newBlocks
+	m.storeOps += int64(extra)
+	return nil
+}
+
+// ShrinkGroups removes head groups from the request, freeing their blocks.
+// Removing all groups frees the request entirely.
+func (m *Manager) ShrinkGroups(id RequestID, removed int) error {
+	e, ok := m.reqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: request %d not on device", id)
+	}
+	if removed <= 0 || removed > e.groups {
+		return fmt.Errorf("kvcache: cannot remove %d of %d groups", removed, e.groups)
+	}
+	if removed == e.groups {
+		m.Free(id)
+		return nil
+	}
+	newBlocks := m.blocksFor(e.groups-removed, e.tokens)
+	m.freeBlocks += e.blocks - newBlocks
+	e.groups -= removed
+	e.blocks = newBlocks
+	return nil
+}
+
+// Free releases everything request id holds on this device. Freeing an
+// absent request is a no-op.
+func (m *Manager) Free(id RequestID) {
+	e, ok := m.reqs[id]
+	if !ok {
+		return
+	}
+	m.freeBlocks += e.blocks
+	delete(m.reqs, id)
+}
+
+// Has reports whether the request holds blocks here.
+func (m *Manager) Has(id RequestID) bool {
+	_, ok := m.reqs[id]
+	return ok
+}
+
+// Groups returns the number of head groups request id holds here (0 if
+// absent).
+func (m *Manager) Groups(id RequestID) int {
+	if e, ok := m.reqs[id]; ok {
+		return e.groups
+	}
+	return 0
+}
+
+// Tokens returns the context length request id holds here (0 if absent).
+func (m *Manager) Tokens(id RequestID) int {
+	if e, ok := m.reqs[id]; ok {
+		return e.tokens
+	}
+	return 0
+}
+
+// BytesOf is the exact byte footprint of request id on this device.
+func (m *Manager) BytesOf(id RequestID) int64 {
+	if e, ok := m.reqs[id]; ok {
+		return int64(e.blocks) * m.cfg.BlockBytes()
+	}
+	return 0
+}
+
+// Fetch records a cache read of the request (decode step touching all its
+// groups) for the op-count accounting of Fig. 15(b).
+func (m *Manager) Fetch(id RequestID) {
+	if e, ok := m.reqs[id]; ok {
+		m.fetchOps += int64(e.groups)
+	}
+}
+
+// StoreOps and FetchOps expose the management-op counters.
+func (m *Manager) StoreOps() int64 { return m.storeOps }
+
+// FetchOps reports accumulated fetch (block-indexing) operations.
+func (m *Manager) FetchOps() int64 { return m.fetchOps }
+
+// Requests lists request IDs with blocks on this device, oldest first.
+func (m *Manager) Requests() []RequestID {
+	ids := make([]RequestID, 0, len(m.reqs))
+	for id := range m.reqs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return m.reqs[ids[i]].arrival < m.reqs[ids[j]].arrival
+	})
+	return ids
+}
+
+// VictimLIFO implements the paper's modified LIFO policy (§5.3.2): among
+// requests that actually hold memory on THIS device, pick the one that
+// arrived last. Returns false when the device is empty.
+func (m *Manager) VictimLIFO() (RequestID, bool) {
+	var best RequestID
+	var bestArrival int64 = -1
+	for id, e := range m.reqs {
+		if e.arrival > bestArrival {
+			bestArrival = e.arrival
+			best = id
+		}
+	}
+	return best, bestArrival >= 0
+}
+
+// CheckInvariants verifies internal accounting; tests call it after every
+// mutation sequence.
+func (m *Manager) CheckInvariants() error {
+	used := 0
+	for id, e := range m.reqs {
+		if e.groups <= 0 {
+			return fmt.Errorf("kvcache: request %d with %d groups", id, e.groups)
+		}
+		want := m.blocksFor(e.groups, e.tokens)
+		if e.blocks != want {
+			return fmt.Errorf("kvcache: request %d holds %d blocks, want %d", id, e.blocks, want)
+		}
+		used += e.blocks
+	}
+	if used+m.freeBlocks != m.totalBlocks {
+		return fmt.Errorf("kvcache: leak: used %d + free %d != total %d", used, m.freeBlocks, m.totalBlocks)
+	}
+	return nil
+}

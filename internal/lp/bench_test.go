@@ -1,0 +1,84 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a bounded feasible LP with n variables and m
+// inequality constraints.
+func randomProblem(rng *rand.Rand, n, m int) *Problem {
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = rng.Float64()*4 - 1
+	}
+	p := New(n, c)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64() * 2
+		}
+		p.AddConstraint(row, LE, rng.Float64()*10+1)
+	}
+	for j := 0; j < n; j++ {
+		row := make([]float64, n)
+		row[j] = 1
+		p.AddConstraint(row, LE, 50)
+	}
+	return p
+}
+
+// BenchmarkSolveDispatchSized measures a dispatch-shaped LP: ~tens of
+// variables (workers × new requests + epigraph) and ~tens of constraints,
+// the size the engine solves at every admission.
+func BenchmarkSolveDispatchSized(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	probs := make([]*Problem, 16)
+	for i := range probs {
+		probs[i] = randomProblem(rng, 12, 24)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := probs[i%len(probs)].Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveIdealSized measures the §5.3.1 ideal-placement LP size:
+// bucketed requests × workers (~250 variables).
+func BenchmarkSolveIdealSized(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	probs := make([]*Problem, 4)
+	for i := range probs {
+		probs[i] = randomProblem(rng, 240, 40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := probs[i%len(probs)].Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSolveLargeStressFeasible(t *testing.T) {
+	// A larger instance than the engine ever builds must still solve
+	// within the iteration cap and produce a feasible point.
+	rng := rand.New(rand.NewSource(3))
+	p := randomProblem(rng, 400, 80)
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	for j, x := range res.X {
+		if x < -1e-7 {
+			t.Fatalf("x[%d] = %g negative", j, x)
+		}
+		if x > 50+1e-6 {
+			t.Fatalf("x[%d] = %g beyond box", j, x)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package lp implements a small dense linear-programming solver: two-phase
+// primal simplex with Bland's anti-cycling rule. It stands in for the
+// cvxpy/MOSEK stack the paper uses to solve the head-dispatching problem
+// (Eq. 7); those instances are tiny (tens of variables), so a dense tableau
+// is exact and fast.
+//
+// Problems are stated as
+//
+//	minimize    c·x
+//	subject to  aᵢ·x (≤ | = | ≥) bᵢ   for each constraint i
+//	            x ≥ 0
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // ≤
+	EQ           // =
+	GE           // ≥
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// ErrNotOptimal is wrapped by Solve when the problem has no finite optimum.
+var ErrNotOptimal = errors.New("lp: no finite optimum")
+
+// constraint is one row of the problem.
+type constraint struct {
+	coeffs []float64
+	op     Op
+	rhs    float64
+}
+
+// Problem accumulates an LP. The zero value is unusable; create with New.
+type Problem struct {
+	n    int // number of decision variables
+	obj  []float64
+	cons []constraint
+}
+
+// New creates a problem with n non-negative decision variables and the
+// given minimization objective (len(obj) must be n).
+func New(n int, obj []float64) *Problem {
+	if len(obj) != n {
+		panic(fmt.Sprintf("lp: objective has %d coefficients for %d variables", len(obj), n))
+	}
+	o := make([]float64, n)
+	copy(o, obj)
+	return &Problem{n: n, obj: o}
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddConstraint appends coeffs·x op rhs. A copy of coeffs is kept. Sparse
+// rows may pass a short slice; missing coefficients are zero.
+func (p *Problem) AddConstraint(coeffs []float64, op Op, rhs float64) {
+	if len(coeffs) > p.n {
+		panic(fmt.Sprintf("lp: constraint has %d coefficients for %d variables", len(coeffs), p.n))
+	}
+	row := make([]float64, p.n)
+	copy(row, coeffs)
+	p.cons = append(p.cons, constraint{coeffs: row, op: op, rhs: rhs})
+}
+
+// AddSparseConstraint appends Σ coeffs[k]·x[idx[k]] op rhs.
+func (p *Problem) AddSparseConstraint(idx []int, coeffs []float64, op Op, rhs float64) {
+	if len(idx) != len(coeffs) {
+		panic("lp: idx and coeffs length mismatch")
+	}
+	row := make([]float64, p.n)
+	for k, j := range idx {
+		if j < 0 || j >= p.n {
+			panic(fmt.Sprintf("lp: variable index %d out of range [0,%d)", j, p.n))
+		}
+		row[j] += coeffs[k]
+	}
+	p.cons = append(p.cons, constraint{coeffs: row, op: op, rhs: rhs})
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status    Status
+	X         []float64 // optimal point (valid when Status == Optimal)
+	Objective float64   // c·x at the optimum
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex and returns the optimum.
+func (p *Problem) Solve() (Result, error) {
+	m := len(p.cons)
+	n := p.n
+
+	// Normalize rows to rhs >= 0.
+	rows := make([]constraint, m)
+	for i, c := range p.cons {
+		rows[i] = c
+		if c.rhs < 0 {
+			flipped := make([]float64, n)
+			for j, v := range c.coeffs {
+				flipped[j] = -v
+			}
+			var op Op
+			switch c.op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			default:
+				op = EQ
+			}
+			rows[i] = constraint{coeffs: flipped, op: op, rhs: -c.rhs}
+		}
+	}
+
+	// Count auxiliary columns: one slack/surplus per inequality, one
+	// artificial per >= or = row.
+	nSlack := 0
+	nArt := 0
+	for _, c := range rows {
+		if c.op != EQ {
+			nSlack++
+		}
+		if c.op != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+
+	// Build tableau: m rows × (total+1) columns, last column is rhs.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	artStart := artCol
+	for i, c := range rows {
+		row := make([]float64, total+1)
+		copy(row, c.coeffs)
+		row[total] = c.rhs
+		switch c.op {
+		case LE:
+			row[slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+		tab[i] = row
+	}
+
+	if nArt > 0 {
+		// Phase 1: minimize the sum of artificial variables.
+		phase1 := make([]float64, total)
+		for j := artStart; j < artStart+nArt; j++ {
+			phase1[j] = 1
+		}
+		status := simplex(tab, basis, phase1)
+		if status == Unbounded {
+			return Result{Status: Infeasible}, fmt.Errorf("%w: phase 1 unbounded (numerical trouble)", ErrNotOptimal)
+		}
+		// Feasible iff the artificial objective is ~0.
+		var artSum float64
+		for i, b := range basis {
+			if b >= artStart {
+				artSum += tab[i][total]
+			}
+		}
+		if artSum > 1e-7 {
+			return Result{Status: Infeasible}, fmt.Errorf("%w: infeasible (artificial residual %g)", ErrNotOptimal, artSum)
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i, b := range basis {
+			if b < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it including the artificial column.
+				for j := range tab[i] {
+					tab[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective (artificial columns fixed at zero: mask
+	// them so they never re-enter).
+	phase2 := make([]float64, total)
+	copy(phase2, p.obj)
+	for j := artStart; j < artStart+nArt; j++ {
+		phase2[j] = math.Inf(1) // sentinel: blocked column
+	}
+	status := simplex(tab, basis, phase2)
+	if status == Unbounded {
+		return Result{Status: Unbounded}, fmt.Errorf("%w: unbounded", ErrNotOptimal)
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	var obj float64
+	for j := 0; j < n; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return Result{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// simplex optimizes the tableau in place for objective c (length = number
+// of structural columns; +Inf marks blocked columns). Returns Optimal or
+// Unbounded.
+func simplex(tab [][]float64, basis []int, c []float64) Status {
+	m := len(tab)
+	if m == 0 {
+		return Optimal
+	}
+	total := len(tab[0]) - 1
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			// With Bland's rule this cannot cycle; this is a hard safety
+			// net for pathological numerics.
+			return Optimal
+		}
+		// Reduced costs: r_j = c_j - c_B · B⁻¹A_j, computed directly from
+		// the tableau (c_B from basis).
+		entering := -1
+		for j := 0; j < total; j++ {
+			if math.IsInf(c[j], 1) {
+				continue
+			}
+			r := reducedCost(tab, basis, c, j)
+			if r < -eps {
+				entering = j // Bland: first improving column
+				break
+			}
+		}
+		if entering == -1 {
+			return Optimal
+		}
+		// Ratio test with Bland tie-breaking on the leaving basic variable.
+		leaving := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][entering]
+			if a > eps {
+				ratio := tab[i][total] / a
+				if ratio < best-eps || (ratio < best+eps && (leaving == -1 || basis[i] < basis[leaving])) {
+					best = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return Unbounded
+		}
+		pivot(tab, basis, leaving, entering)
+	}
+}
+
+// reducedCost computes c_j minus the basic-cost-weighted column j.
+func reducedCost(tab [][]float64, basis []int, c []float64, j int) float64 {
+	r := c[j]
+	for i, b := range basis {
+		cb := 0.0
+		if b < len(c) && !math.IsInf(c[b], 1) {
+			cb = c[b]
+		}
+		if cb != 0 {
+			r -= cb * tab[i][j]
+		}
+	}
+	return r
+}
+
+// pivot makes column j basic in row i.
+func pivot(tab [][]float64, basis []int, i, j int) {
+	piv := tab[i][j]
+	row := tab[i]
+	inv := 1 / piv
+	for k := range row {
+		row[k] *= inv
+	}
+	row[j] = 1 // kill rounding
+	for r := range tab {
+		if r == i {
+			continue
+		}
+		f := tab[r][j]
+		if f == 0 {
+			continue
+		}
+		other := tab[r]
+		for k := range other {
+			other[k] -= f * row[k]
+		}
+		other[j] = 0
+	}
+	basis[i] = j
+}

@@ -1,0 +1,248 @@
+// Package metrics collects and summarizes serving measurements: per-request
+// latency components (TTFT, TPOT, normalized latency), percentiles, and
+// time series for the dynamic-behaviour plots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RequestRecord captures the lifecycle timestamps of one served request.
+type RequestRecord struct {
+	ID         int64
+	ArrivalAt  float64
+	FirstToken float64 // completion time of the prefill (first token)
+	FinishedAt float64
+	PromptLen  int
+	OutputLen  int
+	// Evicted marks requests whose processing was restarted at least once.
+	Evicted bool
+}
+
+// TTFT is the time-to-first-token.
+func (r RequestRecord) TTFT() float64 { return r.FirstToken - r.ArrivalAt }
+
+// TPOT is the mean time per output token after the first.
+func (r RequestRecord) TPOT() float64 {
+	if r.OutputLen <= 1 {
+		return 0
+	}
+	return (r.FinishedAt - r.FirstToken) / float64(r.OutputLen-1)
+}
+
+// NormLatency is end-to-end latency divided by output length — the
+// "normalized latency (s/token)" metric of Figs. 8-10.
+func (r RequestRecord) NormLatency() float64 {
+	if r.OutputLen <= 0 {
+		return 0
+	}
+	return (r.FinishedAt - r.ArrivalAt) / float64(r.OutputLen)
+}
+
+// Recorder accumulates request records.
+type Recorder struct {
+	records []RequestRecord
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add appends one finished request.
+func (c *Recorder) Add(r RequestRecord) { c.records = append(c.records, r) }
+
+// Count reports the number of recorded requests.
+func (c *Recorder) Count() int { return len(c.records) }
+
+// Records returns the raw records (caller must not mutate).
+func (c *Recorder) Records() []RequestRecord { return c.records }
+
+// Summary aggregates a metric over the records.
+type Summary struct {
+	Count         int
+	Mean          float64
+	P50, P95, P99 float64
+	Min, Max      float64
+}
+
+// Summarize computes a Summary of f over all records.
+func (c *Recorder) Summarize(f func(RequestRecord) float64) Summary {
+	vals := make([]float64, 0, len(c.records))
+	for _, r := range c.records {
+		vals = append(vals, f(r))
+	}
+	return SummarizeValues(vals)
+}
+
+// TTFTSummary, TPOTSummary and NormLatencySummary are the three standard
+// aggregations of the paper's evaluation.
+func (c *Recorder) TTFTSummary() Summary {
+	return c.Summarize(RequestRecord.TTFT)
+}
+
+// TPOTSummary aggregates time-per-output-token.
+func (c *Recorder) TPOTSummary() Summary {
+	return c.Summarize(RequestRecord.TPOT)
+}
+
+// NormLatencySummary aggregates normalized end-to-end latency.
+func (c *Recorder) NormLatencySummary() Summary {
+	return c.Summarize(RequestRecord.NormLatency)
+}
+
+// SummarizeValues computes order statistics of a value slice.
+func SummarizeValues(vals []float64) Summary {
+	s := Summary{Count: len(vals)}
+	if len(vals) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(len(sorted))
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P50 = Percentile(sorted, 0.50)
+	s.P95 = Percentile(sorted, 0.95)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile interpolates the p-quantile (p in [0,1]) of an ascending
+// slice using the nearest-rank-with-interpolation convention.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Series is a time-indexed sequence of samples.
+type Series struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// Append adds one sample.
+func (s *Series) Append(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len reports the sample count.
+func (s *Series) Len() int { return len(s.Times) }
+
+// MaxValue returns the largest sample (0 for an empty series).
+func (s *Series) MaxValue() float64 {
+	max := 0.0
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// At returns the last sample value at or before time t (0 before the first
+// sample).
+func (s *Series) At(t float64) float64 {
+	idx := sort.SearchFloat64s(s.Times, t)
+	// idx is the first sample > t-epsilon; step back unless exact match.
+	if idx < len(s.Times) && s.Times[idx] == t {
+		return s.Values[idx]
+	}
+	if idx == 0 {
+		return 0
+	}
+	return s.Values[idx-1]
+}
+
+// Table renders experiment output as an aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row; values are rendered with %v, floats with
+// 4 significant digits.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

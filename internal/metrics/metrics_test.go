@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRecordDerived(t *testing.T) {
+	r := RequestRecord{ArrivalAt: 1, FirstToken: 3, FinishedAt: 12, OutputLen: 10}
+	if got := r.TTFT(); got != 2 {
+		t.Errorf("TTFT=%g want 2", got)
+	}
+	if got := r.TPOT(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("TPOT=%g want 1", got)
+	}
+	if got := r.NormLatency(); math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("NormLatency=%g want 1.1", got)
+	}
+}
+
+func TestRequestRecordDegenerate(t *testing.T) {
+	r := RequestRecord{ArrivalAt: 0, FirstToken: 1, FinishedAt: 1, OutputLen: 1}
+	if got := r.TPOT(); got != 0 {
+		t.Errorf("single-token TPOT=%g want 0", got)
+	}
+	r.OutputLen = 0
+	if got := r.NormLatency(); got != 0 {
+		t.Errorf("zero-output NormLatency=%g want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(vals, 0); got != 1 {
+		t.Errorf("P0=%g want 1", got)
+	}
+	if got := Percentile(vals, 1); got != 10 {
+		t.Errorf("P100=%g want 10", got)
+	}
+	if got := Percentile(vals, 0.5); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("P50=%g want 5.5", got)
+	}
+	if got := Percentile([]float64{7}, 0.95); got != 7 {
+		t.Errorf("single-element P95=%g want 7", got)
+	}
+	if got := Percentile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty percentile should be NaN, got %g", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := math.Mod(math.Abs(p1), 1)
+		b := math.Mod(math.Abs(p2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		return Percentile(sorted, a) <= Percentile(sorted, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeValues(t *testing.T) {
+	s := SummarizeValues([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	empty := SummarizeValues(nil)
+	if empty.Count != 0 {
+		t.Fatalf("empty summary: %+v", empty)
+	}
+}
+
+func TestRecorderSummaries(t *testing.T) {
+	rec := NewRecorder()
+	for i := 0; i < 10; i++ {
+		rec.Add(RequestRecord{
+			ID:         int64(i),
+			ArrivalAt:  0,
+			FirstToken: float64(i + 1),
+			FinishedAt: float64(i+1) + 10,
+			OutputLen:  11,
+		})
+	}
+	if rec.Count() != 10 {
+		t.Fatalf("Count=%d", rec.Count())
+	}
+	ttft := rec.TTFTSummary()
+	if ttft.Mean != 5.5 {
+		t.Errorf("mean TTFT=%g want 5.5", ttft.Mean)
+	}
+	tpot := rec.TPOTSummary()
+	if math.Abs(tpot.Mean-1) > 1e-12 {
+		t.Errorf("mean TPOT=%g want 1", tpot.Mean)
+	}
+	if nl := rec.NormLatencySummary(); nl.Count != 10 {
+		t.Errorf("norm latency count=%d", nl.Count)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(0, 1)
+	s.Append(10, 5)
+	s.Append(20, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if got := s.MaxValue(); got != 5 {
+		t.Errorf("MaxValue=%g want 5", got)
+	}
+	if got := s.At(-1); got != 0 {
+		t.Errorf("At(-1)=%g want 0", got)
+	}
+	if got := s.At(10); got != 5 {
+		t.Errorf("At(10)=%g want 5", got)
+	}
+	if got := s.At(15); got != 5 {
+		t.Errorf("At(15)=%g want 5", got)
+	}
+	if got := s.At(100); got != 3 {
+		t.Errorf("At(100)=%g want 3", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Header: []string{"device", "time"}}
+	tab.AddRow("A100", 0.0097)
+	tab.AddRow("P100", 0.077)
+	tab.AddRow("count", 42)
+	out := tab.String()
+	for _, want := range []string{"device", "A100", "0.0097", "P100", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + separator + 3 rows
+		t.Errorf("table has %d lines want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := Table{Header: []string{"v"}}
+	tab.AddRow(3.0)
+	tab.AddRow(float32(2.5))
+	out := tab.String()
+	if !strings.Contains(out, "3\n") && !strings.Contains(out, "3 ") {
+		t.Errorf("integral float should render without decimals:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Errorf("fractional float should keep decimals:\n%s", out)
+	}
+}

@@ -1,0 +1,55 @@
+package parallelizer
+
+import (
+	"hetis/internal/hardware"
+	"hetis/internal/perf"
+)
+
+// StageDecodeTime models one decode iteration of `tokens` sequences through
+// a concrete stage: sub-stage dense compute, per-layer tensor-parallel
+// all-reduces, and pipeline hops inside the stage. link is the channel the
+// stage's collectives run over.
+func StageDecodeTime(est *perf.Estimator, st Stage, tokens int, link hardware.LinkSpec) float64 {
+	return stageDecodeCost(est, est.Config(), st.Spec, st.Layers, st.TP, st.PP, tokens, link)
+}
+
+// StagePrefillTime models prefilling prompts with the given lengths through
+// the stage (dense + prompt attention + collectives).
+func StagePrefillTime(est *perf.Estimator, st Stage, promptLens []int, link hardware.LinkSpec) float64 {
+	if len(promptLens) == 0 {
+		return 0
+	}
+	cfg := est.Config()
+	total := 0
+	for _, l := range promptLens {
+		total += l
+	}
+	dense := est.DenseIterTime(st.Spec, total, st.Layers, st.TP)
+	attn := float64(st.Layers) * est.AttnPrefillLayerTime(st.Spec, promptLens, st.TP)
+	var comm float64
+	if st.TP > 1 {
+		comm += float64(st.Layers) * 2 * perf.AllReduceTime(link, cfg.HiddenStateBytes(total), st.TP)
+	}
+	if st.PP > 1 {
+		comm += float64(st.PP-1) * perf.P2PTime(link, cfg.HiddenStateBytes(total))
+	}
+	return dense + attn + comm
+}
+
+// StageLink returns the slowest link inside a stage's device set — the
+// bottleneck channel for its collectives.
+func StageLink(cluster *hardware.Cluster, st Stage) hardware.LinkSpec {
+	if len(st.Devices) < 2 {
+		return hardware.Loopback
+	}
+	worst := cluster.Link(st.Devices[0], st.Devices[1])
+	for i := 0; i < len(st.Devices); i++ {
+		for j := i + 1; j < len(st.Devices); j++ {
+			l := cluster.Link(st.Devices[i], st.Devices[j])
+			if l.Beta < worst.Beta {
+				worst = l
+			}
+		}
+	}
+	return worst
+}

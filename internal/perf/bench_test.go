@@ -1,0 +1,33 @@
+package perf
+
+import (
+	"testing"
+
+	"hetis/internal/hardware"
+	"hetis/internal/model"
+)
+
+// BenchmarkDenseLayerTime measures the hot path of every engine iteration.
+func BenchmarkDenseLayerTime(b *testing.B) {
+	e := New(model.Llama70B)
+	for i := 0; i < b.N; i++ {
+		_ = e.DenseLayerTime(hardware.A100, 64, 4)
+	}
+}
+
+// BenchmarkAttnDecodeTime measures the ground-truth attention model.
+func BenchmarkAttnDecodeTime(b *testing.B) {
+	e := New(model.Llama70B)
+	for i := 0; i < b.N; i++ {
+		_ = e.AttnDecodeTime(hardware.P100, 2048, 1<<30)
+	}
+}
+
+// BenchmarkPrefillStepTime measures a full prefill estimate.
+func BenchmarkPrefillStepTime(b *testing.B) {
+	e := New(model.Llama13B)
+	prompts := []int{512, 900, 300, 1400}
+	for i := 0; i < b.N; i++ {
+		_ = e.PrefillStepTime(hardware.A100, prompts, 40, 4)
+	}
+}

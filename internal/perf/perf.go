@@ -1,0 +1,284 @@
+// Package perf is the ground-truth analytic cost model of the simulated
+// cluster: given a GPU spec, a model architecture and a batch description it
+// predicts how long each LLM module takes, and how long tensors take to move
+// between devices. Every scheduling layer above (Profiler, Parallelizer,
+// Dispatcher, engines) consumes times produced here.
+//
+// The model is roofline-shaped: a module costs
+//
+//	max(FLOPs / effFLOPS(rows), bytes / effBandwidth) + kernels·launchOverhead
+//
+// where effFLOPS saturates with the number of matmul rows (small decode
+// batches underutilize wide GPUs, and old architectures need many rows to
+// reach peak). Constants were calibrated against Table 1 of the paper
+// (OPT-2.7B iteration times on A100 / RTX 3090 / P100); the calibration test
+// lives in table1_test.go.
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"hetis/internal/hardware"
+	"hetis/internal/model"
+)
+
+// kernel-count constants: how many kernel-launch rounds each module costs
+// per layer. They scale the fixed overhead term that dominates small decode
+// batches, especially on old GPUs.
+const (
+	kernelsQKV   = 1.5 // fused QKV + rotary/norm epilogue
+	kernelsAttn  = 1.0 // fused paged attention (cache store included)
+	kernelsProj  = 1.0
+	kernelsMLP   = 2.5 // two or three matmuls + activation
+	kernelsDense = kernelsQKV + kernelsProj + kernelsMLP
+)
+
+// satRows is the matmul row count at which a GPU reaches half of its dense
+// efficiency. Modern tensor-core parts saturate quickly; the P100 needs far
+// more rows, which is what makes its small-batch dense decode
+// disproportionately slow (Fig. 2a of the paper).
+func satRows(spec hardware.GPUSpec) float64 {
+	switch {
+	case spec.Tier >= 60: // A100, H100
+		return 8
+	case spec.Tier >= 35: // 3090, A40, V100, L4
+		return 12
+	case spec.Tier >= 20: // T4
+		return 18
+	default: // P100 and older
+		return 24
+	}
+}
+
+// effFLOPS is the achievable FLOP/s on a matmul with the given number of
+// rows (tokens in the batch).
+func effFLOPS(spec hardware.GPUSpec, rows float64) float64 {
+	if rows <= 0 {
+		rows = 1
+	}
+	sat := satRows(spec)
+	return spec.EffFLOPS() * rows / (rows + sat)
+}
+
+// Estimator predicts module times for one model on arbitrary devices.
+type Estimator struct {
+	cfg model.Config
+}
+
+// New returns an estimator for the model configuration.
+func New(cfg model.Config) *Estimator {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("perf: invalid model: %v", err))
+	}
+	return &Estimator{cfg: cfg}
+}
+
+// Config returns the model the estimator was built for.
+func (e *Estimator) Config() model.Config { return e.cfg }
+
+// roofline combines compute and memory cost with fixed kernel overhead.
+func roofline(spec hardware.GPUSpec, flops float64, bytes float64, rows float64, kernels float64) float64 {
+	comp := flops / effFLOPS(spec, rows)
+	mem := bytes / spec.EffBandwidth()
+	return math.Max(comp, mem) + kernels*spec.LaunchOverhead
+}
+
+// DenseLayerTime is the time for the parameter-carrying modules (QKV
+// projection, output projection, MLP) of ONE layer processing tokens rows,
+// with the layer's weights sharded tp ways (tensor parallelism divides both
+// FLOPs and weight traffic). Weight bytes are charged because at decode
+// batch sizes dense modules are weight-bandwidth-bound.
+func (e *Estimator) DenseLayerTime(spec hardware.GPUSpec, tokens int, tp int) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	if tp < 1 {
+		tp = 1
+	}
+	t := float64(tokens)
+	flops := t * e.cfg.DenseFlopsPerToken() / float64(tp)
+	weightBytes := float64(e.cfg.LayerWeightBytes()) / float64(tp)
+	actBytes := float64(e.cfg.HiddenStateBytes(tokens)) * 4 // read/write around each module
+	return roofline(spec, flops, weightBytes+actBytes, t, kernelsDense)
+}
+
+// DenseIterTime is DenseLayerTime summed over layers.
+func (e *Estimator) DenseIterTime(spec hardware.GPUSpec, tokens, layers, tp int) float64 {
+	return float64(layers) * e.DenseLayerTime(spec, tokens, tp)
+}
+
+// LMHeadTime is the final vocabulary projection for tokens rows, sharded tp
+// ways. Only the last pipeline stage pays it.
+func (e *Estimator) LMHeadTime(spec hardware.GPUSpec, tokens, tp int) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	t := float64(tokens)
+	flops := 2 * t * float64(e.cfg.Hidden) * float64(e.cfg.Vocab) / float64(tp)
+	bytes := float64(e.cfg.Hidden) * float64(e.cfg.Vocab) * float64(e.cfg.BytesPerParam) / float64(tp)
+	return roofline(spec, flops, bytes, t, 1)
+}
+
+// AttnPrefillLayerTime is the attention-score computation of one layer for a
+// set of prompts being prefilled together, with heads sharded tp ways.
+// Prefill attention is compute-bound (quadratic in prompt length).
+func (e *Estimator) AttnPrefillLayerTime(spec hardware.GPUSpec, promptLens []int, tp int) float64 {
+	if len(promptLens) == 0 {
+		return 0
+	}
+	if tp < 1 {
+		tp = 1
+	}
+	var flops float64
+	var rows float64
+	var kvBytes float64
+	for _, l := range promptLens {
+		flops += e.cfg.AttnFlopsPrefill(l)
+		rows += float64(l)
+		kvBytes += float64(l) * float64(e.cfg.KVBytesPerTokenLayer())
+	}
+	flops /= float64(tp)
+	kvBytes /= float64(tp)
+	return roofline(spec, flops, kvBytes, rows, kernelsAttn)
+}
+
+// AttnDecodeTime is the ground truth for the quantity the paper models as
+// τᵢ(t) = aᵢ·hᵢ(t) + bᵢ·gᵢ(t) + cᵢ (Eq. 3): the per-layer decode-attention
+// time on a device computing `heads` query heads whose footprint on the
+// device is cacheBytes of K/V for that layer.
+//
+// The decode attention kernel is memory-bound (it streams the KV cache from
+// HBM once) with a per-head scheduling cost and a fixed launch cost. A mild
+// bandwidth-saturation term makes the ground truth not exactly linear, so
+// the Profiler's linear fit is an approximation, as it is on real hardware.
+func (e *Estimator) AttnDecodeTime(spec hardware.GPUSpec, heads int, cacheBytes int64) float64 {
+	if heads <= 0 || cacheBytes <= 0 {
+		return 0
+	}
+	h := float64(heads)
+	g := float64(cacheBytes)
+
+	// Per-head issue cost: each query head is a separate block of work for
+	// the paged-attention kernel (q·Kᵀ GEMV setup, softmax, A·V). Scaled
+	// off the launch overhead so older parts pay proportionally more;
+	// ≈25 ns per head on A100-class GPUs, matching the slope of Fig. 7(c).
+	perHead := spec.LaunchOverhead * 1e-3
+	issue := h * perHead
+
+	// Cache streaming, with saturation: small transfers do not reach full
+	// HBM bandwidth. Saturation half-point at 8 MB.
+	const halfSat = 8 << 20
+	bw := spec.EffBandwidth() * g / (g + halfSat)
+	stream := g / bw
+
+	// Head-contention term: beyond the SM count, heads queue behind each
+	// other; modelled as a soft quadratic with a large scale so the ground
+	// truth stays near-linear (Fig. 7(c)) yet not exactly linear.
+	contention := issue * h / 16384
+
+	return issue + stream + contention + kernelsAttn*spec.LaunchOverhead
+}
+
+// AttnDecodeTimeForRequests is a convenience over AttnDecodeTime for a set
+// of (heads, contextLen) pairs decoded together on one device in one layer.
+func (e *Estimator) AttnDecodeTimeForRequests(spec hardware.GPUSpec, reqs []AttnLoad) float64 {
+	var heads int
+	var bytes int64
+	for _, r := range reqs {
+		heads += r.Heads
+		bytes += e.CacheBytesPerLayer(r.Heads, r.ContextLen)
+	}
+	return e.AttnDecodeTime(spec, heads, bytes)
+}
+
+// AttnLoad is one request's attention share on a device: the number of its
+// query heads placed there and the request's current context length.
+type AttnLoad struct {
+	Heads      int
+	ContextLen int
+}
+
+// CacheBytesPerLayer is the single-layer KV footprint of `heads` query
+// heads over ctxLen tokens. Grouped query heads (GQA) share one KV head's
+// cache, so the footprint scales with ceil(heads/r).
+func (e *Estimator) CacheBytesPerLayer(heads, ctxLen int) int64 {
+	r := e.cfg.GroupRatio()
+	groups := (heads + r - 1) / r
+	return int64(groups) * int64(ctxLen) * e.cfg.KVBytesPerTokenHeadGroup()
+}
+
+// --- Communication ----------------------------------------------------------
+
+// P2PTime is a point-to-point transfer over the link.
+func P2PTime(link hardware.LinkSpec, bytes int64) float64 {
+	return link.TransferTime(bytes)
+}
+
+// AllReduceTime models a ring all-reduce of n bytes among p participants
+// over the given link: 2·(p−1) steps each moving n/p bytes.
+func AllReduceTime(link hardware.LinkSpec, bytes int64, p int) float64 {
+	if p <= 1 || bytes <= 0 {
+		return 0
+	}
+	steps := 2 * (p - 1)
+	chunk := float64(bytes) / float64(p)
+	return float64(steps) * (link.Alpha + chunk/link.Beta)
+}
+
+// AllGatherTime models a ring all-gather of n total bytes among p
+// participants: (p−1) steps each moving n/p bytes.
+func AllGatherTime(link hardware.LinkSpec, bytes int64, p int) float64 {
+	if p <= 1 || bytes <= 0 {
+		return 0
+	}
+	steps := p - 1
+	chunk := float64(bytes) / float64(p)
+	return float64(steps) * (link.Alpha + chunk/link.Beta)
+}
+
+// HeadScatterBytes is the per-token traffic of offloading `heads` query
+// heads to a remote attention worker, following Eq. 4's volume model
+// d = (2 + 2/r)·h: the q vector and attention result (one head each) plus
+// the K and V vectors shared across the r heads of a group.
+func (e *Estimator) HeadScatterBytes(heads int) int64 {
+	r := float64(e.cfg.GroupRatio())
+	perHead := (2 + 2/r) * float64(e.cfg.QHeadBytes())
+	return int64(perHead * float64(heads))
+}
+
+// SeqScatterBytes is the per-token traffic of sequence-wise attention
+// splitting for comparison (Fig. 5): the full q vector of every request
+// chunk must reach each worker holding part of the sequence, and the full
+// partial attention value plus softmax statistics come back.
+func (e *Estimator) SeqScatterBytes() int64 {
+	// q out (all H heads) + partial result back (all H heads) + per-head
+	// softmax max/sum statistics (2 floats per head, negligible but
+	// included).
+	full := 2 * int64(e.cfg.Heads) * int64(e.cfg.QHeadBytes())
+	stats := int64(e.cfg.Heads) * 2 * 4
+	return full + stats
+}
+
+// DecodeStepDenseTime is a convenience: full dense time of a decode step of
+// `tokens` sequences over `layers` layers plus the LM head (applied once).
+func (e *Estimator) DecodeStepDenseTime(spec hardware.GPUSpec, tokens, layers, tp int) float64 {
+	return e.DenseIterTime(spec, tokens, layers, tp) + e.LMHeadTime(spec, tokens, tp)
+}
+
+// PrefillStepTime is the full single-device time to prefill prompts with
+// the given lengths over `layers` layers: dense modules plus prompt
+// attention plus the LM head for the last token of each prompt.
+func (e *Estimator) PrefillStepTime(spec hardware.GPUSpec, promptLens []int, layers, tp int) float64 {
+	if len(promptLens) == 0 {
+		return 0
+	}
+	total := 0
+	for _, l := range promptLens {
+		total += l
+	}
+	dense := e.DenseIterTime(spec, total, layers, tp)
+	attn := float64(layers) * e.AttnPrefillLayerTime(spec, promptLens, tp)
+	lm := e.LMHeadTime(spec, len(promptLens), tp)
+	return dense + attn + lm
+}

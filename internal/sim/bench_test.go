@@ -1,0 +1,15 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleRun measures event-kernel throughput: schedule and
+// drain 1024 events per iteration.
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for k := 0; k < 1024; k++ {
+			s.Schedule(float64(k%37), "e", func(*Simulator) {})
+		}
+		s.RunUntilIdle()
+	}
+}

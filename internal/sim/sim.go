@@ -1,0 +1,155 @@
+// Package sim provides a minimal discrete-event simulation kernel used by
+// the serving engines. Time is a float64 number of seconds since simulation
+// start. Events are scheduled on a binary heap and executed in timestamp
+// order; ties are broken by insertion order so runs are fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled to run at a particular virtual time.
+type Event struct {
+	// At is the virtual time, in seconds, at which the event fires.
+	At float64
+	// Name is an optional label used in error messages and traces.
+	Name string
+	// Fn is the callback. It receives the owning simulator so it can
+	// schedule follow-up events.
+	Fn func(s *Simulator)
+
+	seq   uint64 // insertion order, for deterministic tie-breaking
+	index int    // heap index
+}
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the pending event queue.
+type Simulator struct {
+	now     float64
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+
+	// Executed counts events that have fired, useful as a progress and
+	// runaway guard.
+	Executed uint64
+	// MaxEvents, when non-zero, aborts Run with an error after that many
+	// events. It protects experiments from accidental infinite loops.
+	MaxEvents uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// (before Now) is clamped to Now; this makes "run immediately after current
+// event" trivially safe. It returns the event so callers may cancel it.
+func (s *Simulator) Schedule(at float64, name string, fn func(s *Simulator)) *Event {
+	if math.IsNaN(at) {
+		panic(fmt.Sprintf("sim: NaN schedule time for event %q", name))
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: s.nextSeq}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay seconds after the current time.
+func (s *Simulator) After(delay float64, name string, fn func(s *Simulator)) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.Schedule(s.now+delay, name, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired (or was already cancelled) is a no-op and returns false.
+func (s *Simulator) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(s.queue) || s.queue[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&s.queue, ev.index)
+	return true
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// stay in the queue; a subsequent Run resumes them.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending reports how many events remain in the queue.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Run executes events in time order until the queue drains, Stop is called,
+// or the optional horizon (seconds; <=0 means unbounded) is passed. Events
+// scheduled exactly at the horizon still run.
+func (s *Simulator) Run(horizon float64) error {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		if horizon > 0 && s.queue[0].At > horizon {
+			s.now = horizon
+			return nil
+		}
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.At < s.now {
+			return fmt.Errorf("sim: time went backwards: event %q at %g < now %g", ev.Name, ev.At, s.now)
+		}
+		s.now = ev.At
+		s.Executed++
+		if s.MaxEvents > 0 && s.Executed > s.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d (runaway simulation?)", s.MaxEvents)
+		}
+		ev.Fn(s)
+	}
+	return nil
+}
+
+// RunUntilIdle runs with no horizon and panics on internal error; it is a
+// convenience for tests where errors indicate bugs.
+func (s *Simulator) RunUntilIdle() {
+	if err := s.Run(0); err != nil {
+		panic(err)
+	}
+}

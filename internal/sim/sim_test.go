@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, at := range []float64{3, 1, 2, 0.5, 2} {
+		at := at
+		s.Schedule(at, "e", func(s *Simulator) { got = append(got, at) })
+	}
+	s.RunUntilIdle()
+	want := []float64{0.5, 1, 2, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestTieBreakInsertionOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1.0, "tie", func(s *Simulator) { got = append(got, i) })
+	}
+	s.RunUntilIdle()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	s.Schedule(5, "a", func(s *Simulator) {
+		if s.Now() != 5 {
+			t.Errorf("Now=%g want 5", s.Now())
+		}
+		s.After(2.5, "b", func(s *Simulator) {
+			if s.Now() != 7.5 {
+				t.Errorf("Now=%g want 7.5", s.Now())
+			}
+		})
+	})
+	s.RunUntilIdle()
+	if s.Now() != 7.5 {
+		t.Fatalf("final Now=%g want 7.5", s.Now())
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(10, "first", func(s *Simulator) {
+		s.Schedule(3, "past", func(s *Simulator) {
+			ran = true
+			if s.Now() != 10 {
+				t.Errorf("past event ran at %g want 10", s.Now())
+			}
+		})
+	})
+	s.RunUntilIdle()
+	if !ran {
+		t.Fatal("past-scheduled event never ran")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	ev := s.Schedule(1, "x", func(s *Simulator) { ran = true })
+	if !s.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(ev) {
+		t.Fatal("double Cancel returned true")
+	}
+	s.RunUntilIdle()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	s := New()
+	var got []string
+	a := s.Schedule(1, "a", func(s *Simulator) { got = append(got, "a") })
+	b := s.Schedule(2, "b", func(s *Simulator) { got = append(got, "b") })
+	c := s.Schedule(3, "c", func(s *Simulator) { got = append(got, "c") })
+	_ = a
+	_ = c
+	s.Cancel(b)
+	s.RunUntilIdle()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("got %v want [a c]", got)
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	s := New()
+	count := 0
+	s.Schedule(1, "in", func(s *Simulator) { count++ })
+	s.Schedule(5, "at", func(s *Simulator) { count++ })
+	s.Schedule(5.0001, "out", func(s *Simulator) { count++ })
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count=%d want 2 (horizon-inclusive)", count)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now=%g want horizon 5", s.Now())
+	}
+	// Resuming runs the rest.
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count=%d want 3 after resume", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.Schedule(1, "a", func(s *Simulator) { count++; s.Stop() })
+	s.Schedule(2, "b", func(s *Simulator) { count++ })
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count=%d want 1 after Stop", count)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending=%d want 1", s.Pending())
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	s := New()
+	s.MaxEvents = 100
+	var loop func(s *Simulator)
+	loop = func(s *Simulator) { s.After(1, "loop", loop) }
+	s.Schedule(0, "loop", loop)
+	if err := s.Run(0); err == nil {
+		t.Fatal("expected runaway error, got nil")
+	}
+}
+
+func TestPropertyOrderingRandom(t *testing.T) {
+	// Property: for any multiset of schedule times, execution order is the
+	// sorted order of the times.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		times := make([]float64, 0, int(n)%64+1)
+		var got []float64
+		for i := 0; i < cap(times); i++ {
+			at := rng.Float64() * 100
+			times = append(times, at)
+			s.Schedule(at, "r", func(s *Simulator) { got = append(got, at) })
+		}
+		s.RunUntilIdle()
+		sort.Float64s(times)
+		if len(got) != len(times) {
+			return false
+		}
+		for i := range times {
+			if got[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on NaN schedule time")
+		}
+	}()
+	s := New()
+	zero := 0.0
+	nan := zero / zero // NaN without importing math in the test
+	s.Schedule(nan, "bad", func(*Simulator) {})
+}

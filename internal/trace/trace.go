@@ -1,0 +1,185 @@
+// Package trace records structured simulation events. Engines emit events
+// (request arrival, prefill/decode steps, dispatch decisions, migrations,
+// evictions); experiments replay them to build time series such as Fig. 14's
+// per-device cache-usage and head-count curves, and a JSONL writer dumps
+// them for offline inspection.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind labels an event type.
+type Kind string
+
+// Event kinds emitted by the engines.
+const (
+	KindArrival    Kind = "arrival"
+	KindPrefill    Kind = "prefill"
+	KindDecode     Kind = "decode"
+	KindDispatch   Kind = "dispatch"
+	KindRedispatch Kind = "redispatch"
+	KindMigration  Kind = "migration"
+	KindEviction   Kind = "eviction"
+	KindFinish     Kind = "finish"
+	KindSample     Kind = "sample" // periodic device-state sample
+)
+
+// Event is one timestamped record.
+type Event struct {
+	At      float64 `json:"at"`
+	Kind    Kind    `json:"kind"`
+	Request int64   `json:"req,omitempty"`
+	Device  int     `json:"dev,omitempty"`
+	// Value carries the kind-specific payload: heads dispatched, bytes
+	// migrated, cache utilization sampled, etc.
+	Value float64 `json:"value,omitempty"`
+	// Note is an optional free-form annotation.
+	Note string `json:"note,omitempty"`
+}
+
+// Log accumulates events in memory. The zero value is ready to use. A nil
+// *Log discards everything, so engines can trace unconditionally.
+type Log struct {
+	events []Event
+}
+
+// Add appends an event. Safe on a nil receiver (no-op).
+func (l *Log) Add(ev Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, ev)
+}
+
+// Addf is a convenience constructor-and-append.
+func (l *Log) Addf(at float64, kind Kind, req int64, dev int, value float64, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	note := format
+	if len(args) > 0 {
+		note = fmt.Sprintf(format, args...)
+	}
+	l.events = append(l.events, Event{At: at, Kind: kind, Request: req, Device: dev, Value: value, Note: note})
+}
+
+// Events returns the recorded events in emission order. Nil-safe.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len reports the event count. Nil-safe.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns the events matching the kind, preserving order.
+func (l *Log) Filter(kind Kind) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, ev := range l.events {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Count returns the number of events of a kind.
+func (l *Log) Count(kind Kind) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, ev := range l.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL streams the log as one JSON object per line.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range l.events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("trace: encode: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL stream back into a log.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	l := &Log{}
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return l, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		l.events = append(l.events, ev)
+	}
+}
+
+// KindCounts tallies events per kind.
+func (l *Log) KindCounts() map[Kind]int {
+	if l == nil {
+		return nil
+	}
+	out := make(map[Kind]int)
+	for _, ev := range l.events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// Span returns the first and last event timestamps (0, 0 when empty).
+func (l *Log) Span() (first, last float64) {
+	if l == nil || len(l.events) == 0 {
+		return 0, 0
+	}
+	first = l.events[0].At
+	last = l.events[0].At
+	for _, ev := range l.events[1:] {
+		if ev.At < first {
+			first = ev.At
+		}
+		if ev.At > last {
+			last = ev.At
+		}
+	}
+	return first, last
+}
+
+// SumValues adds up the Value field across events of one kind (e.g. total
+// migrated bytes for KindMigration).
+func (l *Log) SumValues(kind Kind) float64 {
+	if l == nil {
+		return 0
+	}
+	var sum float64
+	for _, ev := range l.events {
+		if ev.Kind == kind {
+			sum += ev.Value
+		}
+	}
+	return sum
+}

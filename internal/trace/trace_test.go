@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(Event{At: 1, Kind: KindArrival})
+	l.Addf(2, KindDecode, 1, 0, 0, "x")
+	if l.Len() != 0 || l.Events() != nil || l.Count(KindArrival) != 0 || l.Filter(KindArrival) != nil {
+		t.Fatal("nil log should discard everything")
+	}
+	if err := l.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAndFilter(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: 0, Kind: KindArrival, Request: 1})
+	l.Add(Event{At: 1, Kind: KindDecode, Request: 1})
+	l.Add(Event{At: 2, Kind: KindDecode, Request: 1})
+	l.Addf(3, KindFinish, 1, 0, 0, "done after %d steps", 2)
+	if l.Len() != 4 {
+		t.Fatalf("Len=%d want 4", l.Len())
+	}
+	if got := l.Count(KindDecode); got != 2 {
+		t.Fatalf("Count(decode)=%d want 2", got)
+	}
+	fin := l.Filter(KindFinish)
+	if len(fin) != 1 || fin[0].Note != "done after 2 steps" {
+		t.Fatalf("filter/format wrong: %+v", fin)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: 0.5, Kind: KindDispatch, Request: 7, Device: 3, Value: 40, Note: "heads"})
+	l.Add(Event{At: 1.5, Kind: KindMigration, Request: 7, Device: 1, Value: 1 << 20})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("expected 2 lines, got %d: %q", got, buf.String())
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip lost events: %d", back.Len())
+	}
+	if back.Events()[0] != l.Events()[0] || back.Events()[1] != l.Events()[1] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back.Events(), l.Events())
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed input should error")
+	}
+}
+
+func TestAnalysisHelpers(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: 2, Kind: KindMigration, Value: 100})
+	l.Add(Event{At: 1, Kind: KindMigration, Value: 50})
+	l.Add(Event{At: 5, Kind: KindFinish})
+	counts := l.KindCounts()
+	if counts[KindMigration] != 2 || counts[KindFinish] != 1 {
+		t.Fatalf("KindCounts = %v", counts)
+	}
+	first, last := l.Span()
+	if first != 1 || last != 5 {
+		t.Fatalf("Span = (%g, %g)", first, last)
+	}
+	if got := l.SumValues(KindMigration); got != 150 {
+		t.Fatalf("SumValues = %g", got)
+	}
+	var nilLog *Log
+	if nilLog.KindCounts() != nil || nilLog.SumValues(KindFinish) != 0 {
+		t.Fatal("nil log helpers should be zero-valued")
+	}
+	f, la := nilLog.Span()
+	if f != 0 || la != 0 {
+		t.Fatal("nil span should be zero")
+	}
+}

@@ -1,0 +1,260 @@
+// Package workload generates synthetic serving traces that stand in for the
+// paper's three datasets. The real datasets cannot ship with an offline
+// stdlib-only build, so each generator reproduces the published length
+// statistics instead:
+//
+//   - ShareGPT (chatbot): medium prompts with a heavy tail, long answers.
+//   - HumanEval (code completion): short prompts, short completions.
+//   - LongBench (summarization): very long documents, short summaries.
+//
+// The scheduler under test is sensitive to the length distributions and the
+// arrival process only, both of which these generators control, so the
+// substitution preserves the behaviour the experiments measure. All
+// sampling is seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Request is one inference request in a trace.
+type Request struct {
+	ID        int64
+	ArrivalAt float64 // seconds since trace start
+	PromptLen int     // tokens in the prompt
+	OutputLen int     // tokens to generate (decode steps)
+}
+
+// TotalLen is the request's final context length.
+func (r Request) TotalLen() int { return r.PromptLen + r.OutputLen }
+
+// LengthDist is a two-sided token-length distribution: log-normal prompt
+// and output lengths with floors and caps.
+type LengthDist struct {
+	Name string
+
+	PromptMedian float64 // median prompt tokens
+	PromptSigma  float64 // log-normal shape
+	PromptMin    int
+	PromptMax    int
+
+	OutputMedian float64
+	OutputSigma  float64
+	OutputMin    int
+	OutputMax    int
+}
+
+// Sample draws one (prompt, output) pair.
+func (d LengthDist) Sample(rng *rand.Rand) (prompt, output int) {
+	prompt = clampInt(logNormal(rng, d.PromptMedian, d.PromptSigma), d.PromptMin, d.PromptMax)
+	output = clampInt(logNormal(rng, d.OutputMedian, d.OutputSigma), d.OutputMin, d.OutputMax)
+	return prompt, output
+}
+
+func logNormal(rng *rand.Rand, median, sigma float64) int {
+	return int(math.Round(median * math.Exp(sigma*rng.NormFloat64())))
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Dataset presets. Statistics follow the commonly published profiles of the
+// three corpora (see DESIGN.md for the substitution rationale).
+var (
+	// ShareGPT models multi-turn chat: prompt median ~330 tokens with a
+	// heavy tail, outputs median ~240 tokens.
+	ShareGPT = LengthDist{
+		Name:         "ShareGPT",
+		PromptMedian: 330, PromptSigma: 0.9, PromptMin: 16, PromptMax: 4096,
+		OutputMedian: 240, OutputSigma: 0.7, OutputMin: 8, OutputMax: 1024,
+	}
+	// HumanEval models code completion: short docstring prompts, short
+	// function-body completions.
+	HumanEval = LengthDist{
+		Name:         "HumanEval",
+		PromptMedian: 130, PromptSigma: 0.5, PromptMin: 32, PromptMax: 512,
+		OutputMedian: 70, OutputSigma: 0.5, OutputMin: 8, OutputMax: 256,
+	}
+	// LongBench models long-article summarization: long documents
+	// truncated to the serving context window (the paper's runs see
+	// ~0.9-1.2k average context per request, Fig. 7), compact summaries.
+	LongBench = LengthDist{
+		Name:         "LongBench",
+		PromptMedian: 1800, PromptSigma: 0.45, PromptMin: 512, PromptMax: 4096,
+		OutputMedian: 220, OutputSigma: 0.5, OutputMin: 32, OutputMax: 512,
+	}
+)
+
+// ByName resolves a dataset preset.
+func ByName(name string) (LengthDist, error) {
+	for _, d := range []LengthDist{ShareGPT, HumanEval, LongBench} {
+		if equalFold(d.Name, name) {
+			return d, nil
+		}
+	}
+	switch name {
+	case "SG", "sg":
+		return ShareGPT, nil
+	case "HE", "he":
+		return HumanEval, nil
+	case "LB", "lb":
+		return LongBench, nil
+	}
+	return LengthDist{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Poisson generates a trace with exponential inter-arrival times at `rate`
+// requests/second for `duration` seconds.
+func Poisson(dist LengthDist, rate, duration float64, seed int64) []Request {
+	if rate <= 0 || duration <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var reqs []Request
+	t := rng.ExpFloat64() / rate
+	id := int64(0)
+	for t < duration {
+		p, o := dist.Sample(rng)
+		reqs = append(reqs, Request{ID: id, ArrivalAt: t, PromptLen: p, OutputLen: o})
+		id++
+		t += rng.ExpFloat64() / rate
+	}
+	return reqs
+}
+
+// RateSegment is one phase of a piecewise-constant arrival process.
+type RateSegment struct {
+	Rate     float64 // requests/second (0 = silence)
+	Duration float64 // seconds
+}
+
+// PiecewiseRate generates a trace whose arrival rate steps through the
+// segments, reproducing time-varying loads like Fig. 14's
+// rps 5 → 0 → 2.5 → 0 pattern.
+func PiecewiseRate(dist LengthDist, segments []RateSegment, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	var reqs []Request
+	id := int64(0)
+	base := 0.0
+	for _, seg := range segments {
+		if seg.Duration <= 0 {
+			continue
+		}
+		if seg.Rate > 0 {
+			t := rng.ExpFloat64() / seg.Rate
+			for t < seg.Duration {
+				p, o := dist.Sample(rng)
+				reqs = append(reqs, Request{ID: id, ArrivalAt: base + t, PromptLen: p, OutputLen: o})
+				id++
+				t += rng.ExpFloat64() / seg.Rate
+			}
+		}
+		base += seg.Duration
+	}
+	return reqs
+}
+
+// FixedBatch generates n simultaneous requests at time zero with lengths
+// drawn from the distribution; used by microbenchmarks such as Table 1.
+func FixedBatch(dist LengthDist, n int, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	for i := range reqs {
+		p, o := dist.Sample(rng)
+		reqs[i] = Request{ID: int64(i), ArrivalAt: 0, PromptLen: p, OutputLen: o}
+	}
+	return reqs
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Count                      int
+	MeanPrompt, MeanOutput     float64
+	MedianPrompt, MedianOutput int
+	MaxPrompt, MaxOutput       int
+	TotalTokens                int64
+}
+
+// Summarize computes trace statistics.
+func Summarize(reqs []Request) Stats {
+	var s Stats
+	s.Count = len(reqs)
+	if s.Count == 0 {
+		return s
+	}
+	prompts := make([]int, 0, len(reqs))
+	outputs := make([]int, 0, len(reqs))
+	for _, r := range reqs {
+		prompts = append(prompts, r.PromptLen)
+		outputs = append(outputs, r.OutputLen)
+		s.MeanPrompt += float64(r.PromptLen)
+		s.MeanOutput += float64(r.OutputLen)
+		s.TotalTokens += int64(r.PromptLen) + int64(r.OutputLen)
+		if r.PromptLen > s.MaxPrompt {
+			s.MaxPrompt = r.PromptLen
+		}
+		if r.OutputLen > s.MaxOutput {
+			s.MaxOutput = r.OutputLen
+		}
+	}
+	s.MeanPrompt /= float64(s.Count)
+	s.MeanOutput /= float64(s.Count)
+	sort.Ints(prompts)
+	sort.Ints(outputs)
+	s.MedianPrompt = prompts[len(prompts)/2]
+	s.MedianOutput = outputs[len(outputs)/2]
+	return s
+}
+
+// Truncate clamps every request to a model context window: prompts longer
+// than maxSeq-1 are cut, and outputs are cut so prompt+output ≤ maxSeq.
+// maxSeq <= 0 returns the input unchanged. A new slice is returned; the
+// input is not mutated.
+func Truncate(reqs []Request, maxSeq int) []Request {
+	if maxSeq <= 0 {
+		return reqs
+	}
+	out := make([]Request, len(reqs))
+	copy(out, reqs)
+	for i := range out {
+		if out[i].PromptLen > maxSeq-1 {
+			out[i].PromptLen = maxSeq - 1
+		}
+		if out[i].PromptLen+out[i].OutputLen > maxSeq {
+			out[i].OutputLen = maxSeq - out[i].PromptLen
+		}
+		if out[i].OutputLen < 1 {
+			out[i].OutputLen = 1
+		}
+	}
+	return out
+}

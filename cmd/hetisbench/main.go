@@ -1,0 +1,131 @@
+// Command hetisbench runs experiments and grid sweeps on a bounded worker
+// pool.
+//
+// Usage:
+//
+//	hetisbench -exp all -jobs 8 -quick        # every paper experiment, pooled
+//	hetisbench -exp fig8,fig9                 # a subset, in id order
+//	hetisbench -grid engine=hetis,splitwise,vllm dataset=SG,HE,LB rate=2,5,10
+//	hetisbench -grid rate=1,2,4,8 -csv        # sweep one dimension, CSV out
+//	hetisbench -list                          # show experiment ids
+//
+// Grid dimensions are key=v1,v2,... pairs: engine, dataset, rate, model,
+// duration, seed. They may be repeated -grid flags or bare trailing
+// arguments; unspecified dimensions default to Llama-13B on ShareGPT at
+// 5 req/s with the three paper systems. Output rows follow grid order
+// (dimension values as given, engines innermost) or experiment-id order,
+// independent of completion order, so stdout is byte-identical for every
+// -jobs value; timings go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hetis"
+)
+
+// multiFlag accumulates repeated -grid values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var gridDims multiFlag
+	exp := flag.String("exp", "", "experiment ids, comma-separated, or 'all'")
+	flag.Var(&gridDims, "grid", "grid dimension key=v1,v2,... (repeatable; bare trailing key=... args are folded in)")
+	jobs := flag.Int("jobs", 0, "max concurrent runs (0 = one per CPU)")
+	quick := flag.Bool("quick", false, "reduced-scale traces for fast runs")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := flag.Int64("seed", 0, "trace seed offset (experiments) or base seed (grid)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+
+	// Parse in rounds so flags and bare key=value grid dimensions can
+	// interleave: the flag package stops at the first non-flag argument,
+	// but `hetisbench -grid engine=hetis dataset=SG,HE -jobs 8` should
+	// work as written.
+	args := os.Args[1:]
+	for {
+		flag.CommandLine.Parse(args)
+		rest := flag.Args()
+		i := 0
+		// A lone "-" is a non-flag arg the parser will never consume;
+		// claim it here so the rounds always make progress.
+		for i < len(rest) && (!strings.HasPrefix(rest[i], "-") || rest[i] == "-") {
+			if !strings.Contains(rest[i], "=") {
+				fatal(fmt.Errorf("unexpected argument %q (grid dimensions are key=v1,v2,...)", rest[i]))
+			}
+			gridDims = append(gridDims, rest[i])
+			i++
+		}
+		if i == len(rest) {
+			break
+		}
+		args = rest[i:]
+	}
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range hetis.ExperimentIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	gridMode := len(gridDims) > 0
+	if gridMode == (*exp != "") {
+		fmt.Fprintln(os.Stderr, "hetisbench: need exactly one of -exp or -grid (see -h; -list shows experiment ids)")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	pool := hetis.SweepOptions{Jobs: *jobs, Cache: hetis.NewSweepCache()}
+	if gridMode {
+		spec := hetis.GridSpec{Quick: *quick, Seed: *seed}
+		spec, err := hetis.ParseGridDims(spec, gridDims)
+		if err != nil {
+			fatal(err)
+		}
+		tab, err := hetis.RunGrid(spec, pool)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tab, *csv)
+	} else {
+		ids := strings.Split(*exp, ",")
+		if *exp == "all" {
+			ids = hetis.ExperimentIDs()
+		}
+		opts := hetis.ExperimentOptions{Quick: *quick, Seed: *seed}
+		results, err := hetis.RunExperiments(ids, opts, pool)
+		if err != nil && results == nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				fatal(r.Err)
+			}
+			fmt.Printf("=== %s ===\n", r.Key)
+			emit(r.Table, *csv)
+			fmt.Println()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hetisbench: done in %.2fs (jobs=%d)\n", time.Since(start).Seconds(), *jobs)
+}
+
+func emit(tab *hetis.Table, csv bool) {
+	if csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Print(tab)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hetisbench: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module hetis
+
+go 1.24

@@ -24,7 +24,13 @@
 //	plan, _ := hetis.PlanDeployment(cfg, reqs)
 //	eng, _ := hetis.NewHetisEngine(cfg, plan)
 //	res, _ := eng.Run(reqs, 0)
-//	fmt.Println(res.Recorder.TTFTSummary().P95)
+//	fmt.Printf("completed %d/%d requests, p95 TTFT %.2fs\n",
+//		res.Completed, len(reqs), res.Recorder.TTFTSummary().P95)
+//
+// (The package Example keeps this snippet compiling and verifies its
+// output.) Sweeps over {model × dataset × rate × engine} grids and pooled
+// experiment runs live behind RunGrid and RunExperiments; the hetisbench
+// command is their CLI.
 package hetis
 
 import (
@@ -35,6 +41,7 @@ import (
 	"hetis/internal/model"
 	"hetis/internal/parallelizer"
 	"hetis/internal/profile"
+	"hetis/internal/sweep"
 	"hetis/internal/workload"
 )
 
@@ -219,7 +226,8 @@ type Table = metrics.Table
 
 // --- Experiments ----------------------------------------------------------------
 
-// ExperimentOptions tunes experiment scale (Quick shrinks traces).
+// ExperimentOptions tunes experiment scale (Quick shrinks traces, Seed
+// offsets the built-in trace seeds for independent replicas).
 type ExperimentOptions = experiments.Options
 
 // ExperimentIDs lists the registered paper experiments (table1, fig2, …).
@@ -228,6 +236,54 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // RunExperiment regenerates one of the paper's tables/figures by id.
 func RunExperiment(id string, opts ExperimentOptions) (*Table, error) {
 	return experiments.Run(id, opts)
+}
+
+// --- Sweeps -------------------------------------------------------------------
+
+// SweepOptions bounds a worker pool (Jobs; 0 = NumCPU) and optionally
+// shares a memo cache across runs.
+type SweepOptions = sweep.Options
+
+// SweepCache memoizes traces, plans and profile fits across pooled runs.
+type SweepCache = sweep.Cache
+
+// SweepResult is one pooled run's keyed outcome.
+type SweepResult = sweep.Result
+
+// GridSpec describes a {model × dataset × rate × engine} sweep.
+type GridSpec = sweep.GridSpec
+
+// GridPoint is one grid coordinate.
+type GridPoint = sweep.Point
+
+// NewSweepCache returns an empty shared memo cache.
+func NewSweepCache() *SweepCache { return sweep.NewCache() }
+
+// SweepEngines lists the engine names a grid may reference.
+func SweepEngines() []string { return append([]string(nil), sweep.Engines...) }
+
+// RunGrid sweeps the grid on a bounded worker pool; the merged table
+// follows grid order independent of completion order, byte-identical for
+// any job count.
+func RunGrid(spec GridSpec, opts SweepOptions) (*Table, error) {
+	return sweep.RunGrid(spec, opts)
+}
+
+// ParseGridDims folds "key=v1,v2,..." dimension specs (engine, dataset,
+// rate, model, duration, seed) into a GridSpec.
+func ParseGridDims(spec GridSpec, dims []string) (GridSpec, error) {
+	return sweep.ParseDims(spec, dims)
+}
+
+// RunExperiments executes several paper experiments concurrently on the
+// pool, results ordered by id.
+func RunExperiments(ids []string, opts ExperimentOptions, pool SweepOptions) ([]SweepResult, error) {
+	return experiments.RunMany(ids, opts, pool)
+}
+
+// RunAllExperiments pools every registered experiment, in id order.
+func RunAllExperiments(opts ExperimentOptions, pool SweepOptions) ([]SweepResult, error) {
+	return experiments.RunAll(opts, pool)
 }
 
 // VLLMEngine is the homogeneous reference: vLLM-style tensor-parallel

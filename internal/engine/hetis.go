@@ -31,8 +31,18 @@ type Hetis struct {
 }
 
 // NewHetis builds the engine from an explicit parallelization plan (use
-// parallelizer.Search, or PlanForWorkload for convenience).
+// parallelizer.Search, or PlanForWorkload for convenience), fitting the
+// cost profile on the plan's primary device.
 func NewHetis(cfg Config, plan *parallelizer.Plan) (*Hetis, error) {
+	return NewHetisWithProfile(cfg, plan, nil)
+}
+
+// NewHetisWithProfile builds the engine with a pre-fitted profile, skipping
+// the construction-time profiling run. Profile fitting depends only on
+// (model, cluster, primary device), so sweeps memoize it and share one fit
+// across every engine built for the same deployment; the engine reads the
+// profile but never writes it. A nil prof fits one here, like NewHetis.
+func NewHetisWithProfile(cfg Config, plan *parallelizer.Plan, prof *profile.Profile) (*Hetis, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -40,10 +50,13 @@ func NewHetis(cfg Config, plan *parallelizer.Plan) (*Hetis, error) {
 		return nil, fmt.Errorf("engine: hetis needs a non-empty plan")
 	}
 	est := perf.New(cfg.Model)
-	primary := plan.Instances[0].Stages[0].Devices[0]
-	prof, err := profile.Run(est, cfg.Cluster, primary, profile.DefaultOptions())
-	if err != nil {
-		return nil, fmt.Errorf("engine: profiling: %w", err)
+	if prof == nil {
+		primary := plan.Instances[0].Stages[0].Devices[0]
+		var err error
+		prof, err = profile.Run(est, cfg.Cluster, primary, profile.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("engine: profiling: %w", err)
+		}
 	}
 	return &Hetis{cfg: cfg, est: est, plan: plan, prof: prof}, nil
 }

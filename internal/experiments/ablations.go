@@ -74,7 +74,7 @@ func AblationDelta(Options) (*metrics.Table, error) {
 // longest-processing-time heuristic on a loaded trace.
 func AblationDispatch(opts Options) (*metrics.Table, error) {
 	dur := 40.0 // fixed: the comparison needs the loaded regime
-	reqs := workload.Poisson(workload.ShareGPT, 8, dur, 1900)
+	reqs := workload.Poisson(workload.ShareGPT, 8, dur, opts.seed(1900))
 
 	run := func(greedy bool) (*engine.Result, error) {
 		cfg := engine.DefaultConfig(model.Llama13B, smallCluster())
@@ -117,7 +117,7 @@ func AblationMigration(opts Options) (*metrics.Table, error) {
 	var meanOver, meanBlock, p95Over, p95Block float64
 	var migOver, migBlock int
 	for _, seed := range seeds {
-		reqs := workload.Poisson(workload.ShareGPT, 6, dur, seed)
+		reqs := workload.Poisson(workload.ShareGPT, 6, dur, opts.seed(seed))
 		run := func(blocking bool) (*engine.Result, error) {
 			cfg := engine.DefaultConfig(model.Llama13B, smallCluster())
 			cfg.BlockingMigration = blocking
@@ -179,7 +179,7 @@ func AblationDP(Options) (*metrics.Table, error) {
 // as modeled objectives and end to end on a ShareGPT trace.
 func AblationSearch(opts Options) (*metrics.Table, error) {
 	dur := opts.duration(40)
-	reqs := workload.Poisson(workload.ShareGPT, 8, dur, 2200)
+	reqs := workload.Poisson(workload.ShareGPT, 8, dur, opts.seed(2200))
 	cluster := hardware.PaperCluster()
 	tab := &metrics.Table{Header: []string{
 		"Model", "Variant", "AttnWorkers", "Objective(s)", "E2E mean(s/tok)",

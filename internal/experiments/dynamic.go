@@ -89,7 +89,7 @@ func Fig14(opts Options) (*metrics.Table, error) {
 			segs[i].Duration = 10
 		}
 	}
-	reqs := workload.PiecewiseRate(workload.ShareGPT, segs, 1400)
+	reqs := workload.PiecewiseRate(workload.ShareGPT, segs, opts.seed(1400))
 	cfg := engine.DefaultConfig(model.Llama13B, smallCluster())
 	cfg.SampleEvery = 5
 	h, err := engine.NewHetis(cfg, smallPlan(model.Llama13B))
@@ -133,7 +133,7 @@ func Fig15a(opts Options) (*metrics.Table, error) {
 	// Rate 6 pressures the small cluster's memory the way the paper's
 	// rate-5 run pressures its larger one: §5.3 re-dispatching fires
 	// regularly while Hetis still completes the whole trace.
-	reqs := workload.Poisson(workload.ShareGPT, 6, dur, 1500)
+	reqs := workload.Poisson(workload.ShareGPT, 6, dur, opts.seed(1500))
 
 	withRd, err := runSmallHetis(reqs, 0.5, false)
 	if err != nil {

@@ -27,7 +27,7 @@ func latencySweep(m model.Config, entries []sweepEntry, opts Options) (*metrics.
 	for _, e := range entries {
 		dist := datasetByCode(e.dataset)
 		for _, rate := range e.rates {
-			reqs := workload.Poisson(dist, rate, dur, 1000+int64(rate*10))
+			reqs := workload.Poisson(dist, rate, dur, opts.seed(1000+int64(rate*10)))
 			if len(reqs) == 0 {
 				continue
 			}
@@ -92,7 +92,7 @@ func Fig11(opts Options) (*metrics.Table, error) {
 	dur := opts.duration(30)
 	for _, m := range []model.Config{model.Llama13B, model.OPT30B, model.Llama70B} {
 		for _, ds := range []string{"SG", "HE", "LB"} {
-			reqs := workload.Poisson(datasetByCode(ds), 4, dur, 77)
+			reqs := workload.Poisson(datasetByCode(ds), 4, dur, opts.seed(77))
 			het, hex, sw, err := buildEngines(m, reqs)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", m.Name, ds, err)
@@ -113,7 +113,7 @@ var fig12Rates = map[string]float64{"SG": 1.5, "HE": 6, "LB": 0.8}
 // point for one dataset.
 func runFig12Setting(ds string, opts Options) (het, hex, sw *engine.Result, err error) {
 	dur := opts.duration(40)
-	reqs := workload.Poisson(datasetByCode(ds), fig12Rates[ds], dur, 2100)
+	reqs := workload.Poisson(datasetByCode(ds), fig12Rates[ds], dur, opts.seed(2100))
 	h, x, s, err := buildEngines(model.Llama70B, reqs)
 	if err != nil {
 		return nil, nil, nil, err
@@ -185,7 +185,7 @@ func Fig16a(opts Options) (*metrics.Table, error) {
 	lat := map[string][]float64{}
 	for _, ds := range []string{"SG", "HE", "LB"} {
 		rate := map[string]float64{"SG": 6, "HE": 30, "LB": 2.5}[ds]
-		reqs := workload.Poisson(datasetByCode(ds), rate, dur, 1600)
+		reqs := workload.Poisson(datasetByCode(ds), rate, dur, opts.seed(1600))
 		for _, theta := range thetas {
 			res, err := runSmallHetis(reqs, theta, false)
 			if err != nil {
@@ -209,7 +209,7 @@ func Fig16a(opts Options) (*metrics.Table, error) {
 // up to ±20% in each fitted parameter, normalized to the exact profile.
 func Fig16b(opts Options) (*metrics.Table, error) {
 	dur := opts.duration(40)
-	reqs := workload.Poisson(workload.ShareGPT, 5, dur, 1700)
+	reqs := workload.Poisson(workload.ShareGPT, 5, dur, opts.seed(1700))
 
 	baseRes, err := runSmallHetisProfile(reqs, 0.5, "", 1)
 	if err != nil {

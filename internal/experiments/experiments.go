@@ -13,6 +13,7 @@ import (
 	"hetis/internal/hardware"
 	"hetis/internal/metrics"
 	"hetis/internal/model"
+	"hetis/internal/sweep"
 	"hetis/internal/workload"
 )
 
@@ -20,7 +21,16 @@ import (
 type Options struct {
 	// Quick shrinks trace durations for smoke tests and benchmarks.
 	Quick bool
+	// Seed offsets every built-in trace seed, so sweeps can draw
+	// independent replicas of the same experiment; 0 keeps the paper's
+	// seeds. Runners are pure functions of these options — all randomness
+	// flows through the seeds, and no runner touches shared mutable state
+	// — which is what lets RunMany execute them concurrently.
+	Seed int64
 }
+
+// seed derives a trace seed from an experiment's built-in base.
+func (o Options) seed(base int64) int64 { return base + o.Seed }
 
 // Runner is one experiment entry point.
 type Runner func(Options) (*metrics.Table, error)
@@ -72,6 +82,30 @@ func Run(id string, opts Options) (*metrics.Table, error) {
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
 	}
 	return r(opts)
+}
+
+// RunMany executes the given experiments concurrently on a sweep pool and
+// returns one result per id, ordered by id independent of completion
+// order. Unknown ids fail fast before anything runs. The joined error
+// aggregates every failed runner; successful tables are still returned
+// alongside it.
+func RunMany(ids []string, opts Options, pool sweep.Options) ([]sweep.Result, error) {
+	jobs := make([]sweep.Job, len(ids))
+	for i, id := range ids {
+		r, ok := registry[id]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+		}
+		jobs[i] = sweep.Job{Key: id, Run: func(*sweep.Cache) (*metrics.Table, error) {
+			return r(opts)
+		}}
+	}
+	return sweep.RunMany(jobs, pool)
+}
+
+// RunAll runs every registered experiment on the pool, in id order.
+func RunAll(opts Options, pool sweep.Options) ([]sweep.Result, error) {
+	return RunMany(IDs(), opts, pool)
 }
 
 // duration scales a trace length by Quick mode.

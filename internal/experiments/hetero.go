@@ -25,7 +25,7 @@ func AblationHetero(opts Options) (*metrics.Table, error) {
 		"vLLM-cache(GB)", "Hetis-cache(GB)",
 	}}
 	for _, rate := range []float64{4, 8, 12, 16} {
-		reqs := workload.Poisson(workload.ShareGPT, rate, dur, 4000+int64(rate))
+		reqs := workload.Poisson(workload.ShareGPT, rate, dur, opts.seed(4000+int64(rate)))
 		cluster := hardware.NewBuilder(hardware.LAN100G).
 			AddHost("a100", hardware.PCIe4x16, hardware.A100, 1).
 			AddHost("3090-0", hardware.PCIe3x16, hardware.RTX3090, 2).

@@ -17,10 +17,10 @@ const sloNormLatency = 0.25
 // maxSustainedRate ladders the request rate upward and returns the largest
 // rate at which the engine finishes ≥99% of the trace within the horizon
 // while meeting the latency SLO.
-func maxSustainedRate(build func(reqs []workload.Request) (engine.Engine, error), dist workload.LengthDist, rates []float64, dur float64) (float64, error) {
+func maxSustainedRate(build func(reqs []workload.Request) (engine.Engine, error), dist workload.LengthDist, rates []float64, dur float64, opts Options) (float64, error) {
 	best := 0.0
 	for _, rate := range rates {
-		reqs := workload.Poisson(dist, rate, dur, 3000+int64(rate*7))
+		reqs := workload.Poisson(dist, rate, dur, opts.seed(3000+int64(rate*7)))
 		if len(reqs) == 0 {
 			continue
 		}
@@ -65,14 +65,14 @@ func Throughput(opts Options) (*metrics.Table, error) {
 		swRate, err := maxSustainedRate(func(reqs []workload.Request) (engine.Engine, error) {
 			cfg := engine.DefaultConfig(m, clusterForThroughput())
 			return engine.NewSplitwise(cfg)
-		}, dist, rates, dur)
+		}, dist, rates, dur, opts)
 		if err != nil {
 			return nil, fmt.Errorf("splitwise %s: %w", ds, err)
 		}
 		hgRate, err := maxSustainedRate(func(reqs []workload.Request) (engine.Engine, error) {
 			cfg := engine.DefaultConfig(m, clusterForThroughput())
 			return engine.NewHexGen(cfg)
-		}, dist, rates, dur)
+		}, dist, rates, dur, opts)
 		if err != nil {
 			return nil, fmt.Errorf("hexgen %s: %w", ds, err)
 		}
@@ -83,7 +83,7 @@ func Throughput(opts Options) (*metrics.Table, error) {
 				return nil, err
 			}
 			return engine.NewHetis(cfg, plan)
-		}, dist, rates, dur)
+		}, dist, rates, dur, opts)
 		if err != nil {
 			return nil, fmt.Errorf("hetis %s: %w", ds, err)
 		}

@@ -297,6 +297,25 @@ type TypeGroup struct {
 	IDs  []DeviceID
 }
 
+// Fingerprint renders the full topology — every host with its intra link
+// and device spec lineup, plus the inter-host link — so distinct clusters
+// never collide. Use it as a cache or map key; String is a lossy summary
+// that omits link generations and device arrangement.
+func (c *Cluster) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString(c.InterLink.Name)
+	for i, h := range c.Hosts {
+		fmt.Fprintf(&b, "|%s/%s:", h.Name, h.IntraLink.Name)
+		for _, d := range c.Devices {
+			if d.Host == i {
+				b.WriteString(d.Spec.Name)
+				b.WriteByte(',')
+			}
+		}
+	}
+	return b.String()
+}
+
 // String summarizes the cluster composition, e.g.
 // "4xA100 + 4x3090 + 4xP100 (3 hosts? ...)".
 func (c *Cluster) String() string {

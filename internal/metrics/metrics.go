@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"fmt"
 	"math"
 	"sort"
@@ -207,6 +208,17 @@ func formatFloat(v float64) string {
 		return fmt.Sprintf("%.0f", v)
 	}
 	return fmt.Sprintf("%.4g", v)
+}
+
+// CSV renders the table as RFC 4180 comma-separated values with a header
+// line.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(t.Header)
+	w.WriteAll(t.Rows)
+	w.Flush()
+	return b.String()
 }
 
 // String renders the table with aligned columns.

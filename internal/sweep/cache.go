@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hetis/internal/engine"
+	"hetis/internal/hardware"
+	"hetis/internal/model"
+	"hetis/internal/parallelizer"
+	"hetis/internal/perf"
+	"hetis/internal/profile"
+	"hetis/internal/workload"
+)
+
+// TraceKey identifies one generated trace: a dataset preset, an arrival
+// rate, a duration, and the seed of the arrival/length sampling.
+type TraceKey struct {
+	Dataset  string // preset name or code accepted by workload.ByName
+	Rate     float64
+	Duration float64
+	Seed     int64
+}
+
+// planKey identifies a parallelizer plan: the model and cluster the search
+// ran for, plus the trace whose aggregate statistics shaped the workload.
+type planKey struct {
+	Model   string
+	Cluster string
+	Trace   TraceKey
+}
+
+// profileKey identifies a fitted profile: the cost models depend on the
+// model architecture, the cluster topology, and the primary device whose
+// links carry the scattered heads.
+type profileKey struct {
+	Model   string
+	Cluster string
+	Primary hardware.DeviceID
+}
+
+// entry memoizes one computation. The once gate means concurrent requests
+// for the same key compute it exactly once while the cache lock is free.
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Cache memoizes the expensive shared work of a sweep: trace generation,
+// parallelizer planning, and profile fitting. All methods are safe for
+// concurrent use; lookups take a read lock, and the computation itself runs
+// outside the lock behind a per-key sync.Once, so identical concurrent
+// requests coalesce into one computation.
+//
+// Cached values are shared across jobs and must be treated as read-only.
+// The engines already do: they copy traces before clamping them and never
+// write through a plan or profile.
+type Cache struct {
+	mu       sync.RWMutex
+	traces   map[TraceKey]*entry[[]workload.Request]
+	plans    map[planKey]*entry[*parallelizer.Plan]
+	profiles map[profileKey]*entry[*profile.Profile]
+
+	// Counters are atomic so the hot hit path stays under the read lock.
+	hits, misses atomic.Int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		traces:   map[TraceKey]*entry[[]workload.Request]{},
+		plans:    map[planKey]*entry[*parallelizer.Plan]{},
+		profiles: map[profileKey]*entry[*profile.Profile]{},
+	}
+}
+
+// lookup returns the entry for key, creating it on first request, and
+// counts the hit or miss.
+func lookup[K comparable, V any](c *Cache, m map[K]*entry[V], key K) *entry[V] {
+	c.mu.RLock()
+	e, ok := m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return e
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok = m[key]; ok {
+		c.hits.Add(1)
+		return e
+	}
+	e = new(entry[V])
+	m[key] = e
+	c.misses.Add(1)
+	return e
+}
+
+// Stats reports how many lookups were served from the cache vs computed.
+func (c *Cache) Stats() (hits, misses int) {
+	return int(c.hits.Load()), int(c.misses.Load())
+}
+
+// Trace returns the memoized Poisson trace for the key. The returned slice
+// is shared; callers must not mutate it.
+func (c *Cache) Trace(k TraceKey) ([]workload.Request, error) {
+	e := lookup(c, c.traces, k)
+	e.once.Do(func() {
+		dist, err := workload.ByName(k.Dataset)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.val = workload.Poisson(dist, k.Rate, k.Duration, k.Seed)
+	})
+	return e.val, e.err
+}
+
+// Plan returns the memoized parallelizer plan for the config's model and
+// cluster, shaped by the key's trace statistics.
+func (c *Cache) Plan(cfg engine.Config, k TraceKey) (*parallelizer.Plan, error) {
+	pk := planKey{Model: cfg.Model.Name, Cluster: cfg.Cluster.Fingerprint(), Trace: k}
+	e := lookup(c, c.plans, pk)
+	e.once.Do(func() {
+		reqs, err := c.Trace(k)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.val, e.err = engine.PlanForWorkload(cfg, reqs)
+	})
+	return e.val, e.err
+}
+
+// Profile returns the memoized Eq. 3 / Eq. 4 fit for the model on the
+// cluster with the given primary device.
+func (c *Cache) Profile(m model.Config, cluster *hardware.Cluster, primary hardware.DeviceID) (*profile.Profile, error) {
+	pk := profileKey{Model: m.Name, Cluster: cluster.Fingerprint(), Primary: primary}
+	e := lookup(c, c.profiles, pk)
+	e.once.Do(func() {
+		e.val, e.err = profile.Run(perf.New(m), cluster, primary, profile.DefaultOptions())
+	})
+	return e.val, e.err
+}
+
+// BuildEngine constructs the named engine ("hetis", "splitwise", "hexgen",
+// "vllm") for the config, routing the Hetis plan and profile fit through
+// the cache so grid points sharing a model and trace share that work.
+func (c *Cache) BuildEngine(name string, cfg engine.Config, k TraceKey) (engine.Engine, error) {
+	switch name {
+	case "hetis":
+		plan, err := c.Plan(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		if len(plan.Instances) == 0 {
+			return nil, fmt.Errorf("sweep: empty plan for %s on %s", cfg.Model.Name, cfg.Cluster)
+		}
+		primary := plan.Instances[0].Stages[0].Devices[0]
+		prof, err := c.Profile(cfg.Model, cfg.Cluster, primary)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewHetisWithProfile(cfg, plan, prof)
+	case "splitwise":
+		return engine.NewSplitwise(cfg)
+	case "hexgen":
+		return engine.NewHexGen(cfg)
+	case "vllm":
+		return engine.NewVLLM(cfg)
+	}
+	return nil, errUnknownEngine(name)
+}

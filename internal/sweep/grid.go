@@ -1,0 +1,227 @@
+package sweep
+
+import (
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+
+	"hetis/internal/engine"
+	"hetis/internal/hardware"
+	"hetis/internal/metrics"
+	"hetis/internal/model"
+)
+
+// Engines lists the engine names a grid point may name, in comparison
+// order.
+var Engines = []string{"hetis", "hexgen", "splitwise", "vllm"}
+
+func errUnknownEngine(name string) error {
+	return fmt.Errorf("sweep: unknown engine %q (known: %s)", name, strings.Join(Engines, ", "))
+}
+
+// GridSpec describes a sweep over the cartesian product
+// {model × dataset × rate × engine}. Zero-valued fields take defaults:
+// Llama-13B, ShareGPT, 5 req/s, the three paper systems, 40 s traces,
+// seed 1.
+type GridSpec struct {
+	Engines  []string  // engine names (see Engines)
+	Models   []string  // model preset names (model.ByName)
+	Datasets []string  // dataset preset names or codes (workload.ByName)
+	Rates    []float64 // arrival rates, req/s
+
+	// Duration is the trace length in seconds; Quick quarters it, like
+	// experiments.Options.Quick.
+	Duration float64
+	Quick    bool
+	// Seed drives the trace sampling; points sharing a dataset and rate
+	// share the generated trace.
+	Seed int64
+}
+
+// withDefaults fills unset fields and folds Quick into Duration. It is
+// idempotent — Quick is cleared once applied, so the spec can pass through
+// RunGrid and RunPoint without quartering twice.
+func (s GridSpec) withDefaults() GridSpec {
+	if len(s.Engines) == 0 {
+		s.Engines = []string{"hetis", "hexgen", "splitwise"}
+	}
+	if len(s.Models) == 0 {
+		s.Models = []string{model.Llama13B.Name}
+	}
+	if len(s.Datasets) == 0 {
+		s.Datasets = []string{"SG"}
+	}
+	if len(s.Rates) == 0 {
+		s.Rates = []float64{5}
+	}
+	if s.Duration <= 0 {
+		s.Duration = 40
+	}
+	if s.Quick {
+		s.Duration /= 4
+		s.Quick = false
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Point is one grid coordinate.
+type Point struct {
+	Model   string
+	Dataset string
+	Rate    float64
+	Engine  string
+}
+
+// Key renders the coordinate as "model/dataset/rate/engine"; it is the
+// job key and therefore the sort key of the sweep's rows.
+func (p Point) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%s", p.Model, p.Dataset, strconv.FormatFloat(p.Rate, 'g', -1, 64), p.Engine)
+}
+
+// Points expands the spec into the cartesian product, engines innermost so
+// consecutive points replay the same trace.
+func (s GridSpec) Points() []Point {
+	s = s.withDefaults()
+	var pts []Point
+	for _, m := range s.Models {
+		for _, ds := range s.Datasets {
+			for _, rate := range s.Rates {
+				for _, eng := range s.Engines {
+					pts = append(pts, Point{Model: m, Dataset: ds, Rate: rate, Engine: eng})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// GridHeader is the column layout of RunGrid and RunPoint tables.
+var GridHeader = []string{
+	"Model", "Dataset", "Rate(req/s)", "Engine",
+	"Requests", "Completed", "Throughput(req/s)",
+	"NormLat-mean(s/tok)", "TTFT-p95(s)", "TPOT-p95(s)",
+}
+
+// RunPoint simulates one grid coordinate and returns its one-row table.
+// The trace, the Hetis plan, and the profile fit come from the cache, so
+// points sharing a coordinate prefix share that work.
+func RunPoint(s GridSpec, p Point, c *Cache) (*metrics.Table, error) {
+	s = s.withDefaults()
+	m, err := model.ByName(p.Model)
+	if err != nil {
+		return nil, err
+	}
+	k := TraceKey{Dataset: p.Dataset, Rate: p.Rate, Duration: s.Duration, Seed: s.Seed}
+	reqs, err := c.Trace(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("sweep: empty trace for %s", p.Key())
+	}
+	cfg := engine.DefaultConfig(m, hardware.PaperCluster())
+	eng, err := c.BuildEngine(p.Engine, cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(reqs, s.Duration*30)
+	if err != nil {
+		return nil, err
+	}
+	tab := &metrics.Table{Header: GridHeader}
+	tab.AddRow(p.Model, p.Dataset, p.Rate, p.Engine,
+		len(reqs), res.Completed, res.Throughput(),
+		res.Recorder.NormLatencySummary().Mean,
+		res.Recorder.TTFTSummary().P95,
+		res.Recorder.TPOTSummary().P95)
+	return tab, nil
+}
+
+// RunGrid sweeps the full grid on the pool and merges the per-point rows
+// into one table in grid order — the dimension values exactly as the spec
+// lists them, engines innermost — independent of completion order, so the
+// output is byte-identical for any Options.Jobs value.
+func RunGrid(s GridSpec, opts Options) (*metrics.Table, error) {
+	s = s.withDefaults()
+	pts := s.Points()
+	jobs := make([]Job, len(pts))
+	for i, p := range pts {
+		jobs[i] = Job{Key: p.Key(), Run: func(c *Cache) (*metrics.Table, error) {
+			return RunPoint(s, p, c)
+		}}
+	}
+	results, err := RunMany(jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	// RunMany sorts by key, which orders rates lexicographically (10 < 2);
+	// reassemble in point order so rows follow the spec's own dimension
+	// order. Duplicate points work out because RunMany's sort is stable:
+	// equal keys keep submission order, and so does the point walk.
+	byKey := map[string][]*metrics.Table{}
+	for _, r := range results {
+		byKey[r.Key] = append(byKey[r.Key], r.Table)
+	}
+	tab := &metrics.Table{Header: GridHeader}
+	for _, p := range pts {
+		k := p.Key()
+		tab.Rows = append(tab.Rows, byKey[k][0].Rows...)
+		byKey[k] = byKey[k][1:]
+	}
+	return tab, nil
+}
+
+// ParseDims folds "key=v1,v2,..." grid dimension specs into a GridSpec.
+// Recognized keys: engine(s), dataset(s), rate(s), model(s), duration,
+// seed. Later specs for the same key replace earlier ones.
+func ParseDims(spec GridSpec, dims []string) (GridSpec, error) {
+	for _, dim := range dims {
+		key, vals, ok := strings.Cut(dim, "=")
+		if !ok || vals == "" {
+			return spec, fmt.Errorf("sweep: grid dimension %q is not key=v1,v2,...", dim)
+		}
+		parts := strings.Split(vals, ",")
+		switch strings.TrimSuffix(strings.ToLower(key), "s") {
+		case "engine":
+			for _, e := range parts {
+				if !slices.Contains(Engines, e) {
+					return spec, errUnknownEngine(e)
+				}
+			}
+			spec.Engines = parts
+		case "dataset":
+			spec.Datasets = parts
+		case "model":
+			spec.Models = parts
+		case "rate":
+			rates := make([]float64, len(parts))
+			for i, p := range parts {
+				v, err := strconv.ParseFloat(p, 64)
+				if err != nil {
+					return spec, fmt.Errorf("sweep: bad rate %q: %w", p, err)
+				}
+				rates[i] = v
+			}
+			spec.Rates = rates
+		case "duration":
+			v, err := strconv.ParseFloat(vals, 64)
+			if err != nil {
+				return spec, fmt.Errorf("sweep: bad duration %q: %w", vals, err)
+			}
+			spec.Duration = v
+		case "seed":
+			v, err := strconv.ParseInt(vals, 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("sweep: bad seed %q: %w", vals, err)
+			}
+			spec.Seed = v
+		default:
+			return spec, fmt.Errorf("sweep: unknown grid dimension %q", key)
+		}
+	}
+	return spec, nil
+}

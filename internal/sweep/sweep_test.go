@@ -1,0 +1,208 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hetis/internal/engine"
+	"hetis/internal/hardware"
+	"hetis/internal/metrics"
+	"hetis/internal/model"
+)
+
+// fakeJob returns a job that sleeps and then emits a one-row table naming
+// its key, so completion order can be forced to differ from key order.
+func fakeJob(key string, sleep time.Duration) Job {
+	return Job{Key: key, Run: func(*Cache) (*metrics.Table, error) {
+		time.Sleep(sleep)
+		tab := &metrics.Table{Header: []string{"Key"}}
+		tab.AddRow(key)
+		return tab, nil
+	}}
+}
+
+func TestRunManyOrdersByKeyNotCompletion(t *testing.T) {
+	// Submit in reverse key order with the earliest key sleeping longest:
+	// under Jobs>1 it completes last, but must still sort first.
+	jobs := []Job{
+		fakeJob("c", 1*time.Millisecond),
+		fakeJob("b", 10*time.Millisecond),
+		fakeJob("a", 30*time.Millisecond),
+	}
+	results, err := RunMany(jobs, Options{Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, r := range results {
+		keys = append(keys, r.Key)
+		if r.Table == nil || r.Table.Rows[0][0] != r.Key {
+			t.Errorf("result %s carries wrong table %v", r.Key, r.Table)
+		}
+	}
+	if got := strings.Join(keys, ","); got != "a,b,c" {
+		t.Fatalf("results ordered %s, want a,b,c", got)
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		fakeJob("a", 0),
+		{Key: "bad", Run: func(*Cache) (*metrics.Table, error) { return nil, boom }},
+		fakeJob("z", 0),
+	}
+	results, err := RunMany(jobs, Options{Jobs: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunMany error = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), "job bad") {
+		t.Errorf("error %q does not name the failing job", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3 (siblings of a failed job still run)", len(results))
+	}
+	if results[1].Key != "bad" || !errors.Is(results[1].Err, boom) {
+		t.Errorf("failing job result = %+v", results[1])
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil || results[i].Table == nil {
+			t.Errorf("sibling %s damaged by failure: %+v", results[i].Key, results[i])
+		}
+	}
+}
+
+func TestCacheTraceSingleflight(t *testing.T) {
+	c := NewCache()
+	k := TraceKey{Dataset: "SG", Rate: 4, Duration: 5, Seed: 7}
+
+	const callers = 16
+	traces := make([][]int64, callers) // first request IDs observed
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reqs, err := c.Trace(k)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, r := range reqs[:min(3, len(reqs))] {
+				traces[i] = append(traces[i], r.ID)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if _, misses := c.Stats(); misses != 1 {
+		t.Errorf("misses = %d, want 1 (concurrent identical requests must coalesce)", misses)
+	}
+	first, err := c.Trace(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _ := c.Trace(k)
+	if &first[0] != &again[0] {
+		t.Error("repeated Trace returned a different slice; memoization broken")
+	}
+	if hits, _ := c.Stats(); hits < callers {
+		t.Errorf("hits = %d, want >= %d", hits, callers)
+	}
+}
+
+func TestCacheSharesPlanAndProfileAcrossEngines(t *testing.T) {
+	c := NewCache()
+	k := TraceKey{Dataset: "SG", Rate: 3, Duration: 5, Seed: 1}
+	cfg := engine.DefaultConfig(model.Llama13B, hardware.PaperCluster())
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.BuildEngine("hetis", cfg, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First build computes trace, plan and profile; the two rebuilds hit
+	// the plan and profile entries (and never re-request the trace).
+	hits, misses := c.Stats()
+	if misses != 3 {
+		t.Errorf("misses = %d, want 3 (one trace, one plan, one profile)", misses)
+	}
+	if hits != 4 {
+		t.Errorf("hits = %d, want 4 (plan and profile, twice each)", hits)
+	}
+}
+
+func TestBuildEngineUnknown(t *testing.T) {
+	c := NewCache()
+	cfg := engine.DefaultConfig(model.Llama13B, hardware.PaperCluster())
+	if _, err := c.BuildEngine("triton", cfg, TraceKey{Dataset: "SG", Rate: 1, Duration: 1, Seed: 1}); err == nil || !strings.Contains(err.Error(), "triton") {
+		t.Fatalf("err = %v, want unknown-engine naming triton", err)
+	}
+}
+
+// acceptance-shaped check: the same grid must render byte-identically no
+// matter how many workers raced over it.
+func TestRunGridByteIdenticalAcrossJobs(t *testing.T) {
+	spec := GridSpec{
+		Engines:  []string{"hetis", "splitwise"},
+		Datasets: []string{"SG", "HE"},
+		Rates:    []float64{2, 4},
+		Duration: 5,
+	}
+	var rendered []string
+	for _, jobs := range []int{1, 8} {
+		tab, err := RunGrid(spec, Options{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		rendered = append(rendered, tab.String())
+	}
+	if rendered[0] != rendered[1] {
+		t.Errorf("grid output differs between jobs=1 and jobs=8:\n--- jobs=1\n%s--- jobs=8\n%s", rendered[0], rendered[1])
+	}
+	if rows := strings.Count(rendered[0], "\n") - 2; rows != 8 {
+		t.Errorf("grid rendered %d rows, want 8", rows)
+	}
+}
+
+func TestRunGridReportsFailingPoint(t *testing.T) {
+	spec := GridSpec{Models: []string{"no-such-model"}, Duration: 1}
+	_, err := RunGrid(spec, Options{Jobs: 2})
+	if err == nil || !strings.Contains(err.Error(), "no-such-model") {
+		t.Fatalf("err = %v, want failure naming the bad model", err)
+	}
+}
+
+func TestParseDims(t *testing.T) {
+	spec, err := ParseDims(GridSpec{}, []string{
+		"engine=hetis,vllm", "datasets=SG,LB", "rate=2,5,10", "model=Llama-13B", "duration=12", "seed=9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%v", GridSpec{
+		Engines: []string{"hetis", "vllm"}, Models: []string{"Llama-13B"},
+		Datasets: []string{"SG", "LB"}, Rates: []float64{2, 5, 10},
+		Duration: 12, Seed: 9,
+	})
+	if got := fmt.Sprintf("%v", spec); got != want {
+		t.Errorf("ParseDims = %s, want %s", got, want)
+	}
+
+	for _, bad := range []string{"engine=warp", "rate=fast", "flux=1", "rate", "engine="} {
+		if _, err := ParseDims(GridSpec{}, []string{bad}); err == nil {
+			t.Errorf("ParseDims(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,5 +1,5 @@
-// Command hetisbench runs experiments and grid sweeps on a bounded worker
-// pool.
+// Command hetisbench runs experiments, grid sweeps, and scenarios on a
+// bounded worker pool.
 //
 // Usage:
 //
@@ -7,20 +7,25 @@
 //	hetisbench -exp fig8,fig9                 # a subset, in id order
 //	hetisbench -grid engine=hetis,splitwise,vllm dataset=SG,HE,LB rate=2,5,10
 //	hetisbench -grid rate=1,2,4,8 -csv        # sweep one dimension, CSV out
-//	hetisbench -list                          # show experiment ids
+//	hetisbench -grid scenario=bursty,diurnal  # scenarios as a grid dimension
+//	hetisbench -scenario all -jobs 8          # the scenario catalog, pooled
+//	hetisbench -scenario bursty,multitenant -csv
+//	hetisbench -list                          # show experiment ids and scenarios
 //
 // Grid dimensions are key=v1,v2,... pairs: engine, dataset, rate, model,
-// duration, seed. They may be repeated -grid flags or bare trailing
-// arguments; unspecified dimensions default to Llama-13B on ShareGPT at
-// 5 req/s with the three paper systems. Output rows follow grid order
-// (dimension values as given, engines innermost) or experiment-id order,
-// independent of completion order, so stdout is byte-identical for every
-// -jobs value; timings go to stderr.
+// scenario, duration, seed. They may be repeated -grid flags or bare
+// trailing arguments; unspecified dimensions default to Llama-13B on
+// ShareGPT at 5 req/s with the three paper systems. Output rows follow
+// grid order (dimension values as given, engines innermost), experiment-id
+// order, or scenario catalog order, independent of completion order, so
+// stdout is byte-identical for every -jobs value; timings go to stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -34,30 +39,66 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+// errUsage marks command-line mistakes (exit code 2, like flag errors).
+var errUsage = errors.New("usage")
+
+// errParse marks flag-parse failures the FlagSet already reported.
+var errParse = errors.New("flag parse error")
+
+func usageError(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errUsage, fmt.Sprintf(format, args...))
+}
+
 func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		// -h prints usage and succeeds, matching flag.ExitOnError.
+	case errors.Is(err, errParse):
+		os.Exit(2) // the FlagSet already reported the mistake
+	case errors.Is(err, errUsage):
+		fmt.Fprintf(os.Stderr, "hetisbench: %v\n", err)
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "hetisbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main: it parses args, runs the selected
+// mode, and writes tables to stdout and timings to stderr.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hetisbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var gridDims multiFlag
-	exp := flag.String("exp", "", "experiment ids, comma-separated, or 'all'")
-	flag.Var(&gridDims, "grid", "grid dimension key=v1,v2,... (repeatable; bare trailing key=... args are folded in)")
-	jobs := flag.Int("jobs", 0, "max concurrent runs (0 = one per CPU)")
-	quick := flag.Bool("quick", false, "reduced-scale traces for fast runs")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	seed := flag.Int64("seed", 0, "trace seed offset (experiments) or base seed (grid)")
-	list := flag.Bool("list", false, "list experiment ids and exit")
+	exp := fs.String("exp", "", "experiment ids, comma-separated, or 'all'")
+	fs.Var(&gridDims, "grid", "grid dimension key=v1,v2,... (repeatable; bare trailing key=... args are folded in)")
+	scen := fs.String("scenario", "", "scenario names, comma-separated, or 'all'")
+	jobs := fs.Int("jobs", 0, "max concurrent runs (0 = one per CPU)")
+	quick := fs.Bool("quick", false, "reduced-scale traces for fast runs")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := fs.Int64("seed", 0, "trace seed offset (experiments, scenarios) or base seed (grid)")
+	list := fs.Bool("list", false, "list experiment ids and scenarios, then exit")
 
 	// Parse in rounds so flags and bare key=value grid dimensions can
 	// interleave: the flag package stops at the first non-flag argument,
 	// but `hetisbench -grid engine=hetis dataset=SG,HE -jobs 8` should
 	// work as written.
-	args := os.Args[1:]
+	args := argv
 	for {
-		flag.CommandLine.Parse(args)
-		rest := flag.Args()
+		if err := fs.Parse(args); err != nil {
+			if errors.Is(err, flag.ErrHelp) {
+				return err
+			}
+			return fmt.Errorf("%w: %v", errParse, err)
+		}
+		rest := fs.Args()
 		i := 0
 		// A lone "-" is a non-flag arg the parser will never consume;
 		// claim it here so the rounds always make progress.
 		for i < len(rest) && (!strings.HasPrefix(rest[i], "-") || rest[i] == "-") {
 			if !strings.Contains(rest[i], "=") {
-				fatal(fmt.Errorf("unexpected argument %q (grid dimensions are key=v1,v2,...)", rest[i]))
+				return usageError("unexpected argument %q (grid dimensions are key=v1,v2,...)", rest[i])
 			}
 			gridDims = append(gridDims, rest[i])
 			i++
@@ -69,33 +110,48 @@ func main() {
 	}
 
 	if *list {
-		fmt.Println("available experiments:")
+		fmt.Fprintln(stdout, "available experiments:")
 		for _, id := range hetis.ExperimentIDs() {
-			fmt.Printf("  %s\n", id)
+			fmt.Fprintf(stdout, "  %s\n", id)
 		}
-		return
+		fmt.Fprintln(stdout, "available scenarios:")
+		for _, name := range hetis.ScenarioNames() {
+			fmt.Fprintf(stdout, "  %s\n", name)
+		}
+		return nil
 	}
 
-	gridMode := len(gridDims) > 0
-	if gridMode == (*exp != "") {
-		fmt.Fprintln(os.Stderr, "hetisbench: need exactly one of -exp or -grid (see -h; -list shows experiment ids)")
-		os.Exit(2)
+	modes := 0
+	for _, on := range []bool{*exp != "", len(gridDims) > 0, *scen != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return usageError("need exactly one of -exp, -grid or -scenario (see -h; -list shows ids)")
 	}
 
 	start := time.Now()
 	pool := hetis.SweepOptions{Jobs: *jobs, Cache: hetis.NewSweepCache()}
-	if gridMode {
+	switch {
+	case len(gridDims) > 0:
 		spec := hetis.GridSpec{Quick: *quick, Seed: *seed}
 		spec, err := hetis.ParseGridDims(spec, gridDims)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tab, err := hetis.RunGrid(spec, pool)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		emit(tab, *csv)
-	} else {
+		emit(stdout, tab, *csv)
+	case *scen != "":
+		tab, err := hetis.RunScenarios(strings.Split(*scen, ","), *quick, *seed, pool)
+		if err != nil {
+			return err
+		}
+		emit(stdout, tab, *csv)
+	default:
 		ids := strings.Split(*exp, ",")
 		if *exp == "all" {
 			ids = hetis.ExperimentIDs()
@@ -103,29 +159,25 @@ func main() {
 		opts := hetis.ExperimentOptions{Quick: *quick, Seed: *seed}
 		results, err := hetis.RunExperiments(ids, opts, pool)
 		if err != nil && results == nil {
-			fatal(err)
+			return err
 		}
 		for _, r := range results {
 			if r.Err != nil {
-				fatal(r.Err)
+				return r.Err
 			}
-			fmt.Printf("=== %s ===\n", r.Key)
-			emit(r.Table, *csv)
-			fmt.Println()
+			fmt.Fprintf(stdout, "=== %s ===\n", r.Key)
+			emit(stdout, r.Table, *csv)
+			fmt.Fprintln(stdout)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "hetisbench: done in %.2fs (jobs=%d)\n", time.Since(start).Seconds(), *jobs)
+	fmt.Fprintf(stderr, "hetisbench: done in %.2fs (jobs=%d)\n", time.Since(start).Seconds(), *jobs)
+	return nil
 }
 
-func emit(tab *hetis.Table, csv bool) {
+func emit(w io.Writer, tab *hetis.Table, csv bool) {
 	if csv {
-		fmt.Print(tab.CSV())
+		fmt.Fprint(w, tab.CSV())
 	} else {
-		fmt.Print(tab)
+		fmt.Fprint(w, tab)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "hetisbench: %v\n", err)
-	os.Exit(1)
 }

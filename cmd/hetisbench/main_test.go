@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out, io.Discard)
+	return out.String(), err
+}
+
+func TestListShowsExperimentsAndScenarios(t *testing.T) {
+	out, err := runBench(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first, _, _ := strings.Cut(out, "\n"); first != "available experiments:" {
+		t.Errorf("first line = %q", first)
+	}
+	for _, want := range []string{"  fig8\n", "  scenarios\n", "available scenarios:", "  bursty\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestModeExclusivity(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-exp", "fig8", "-grid", "rate=2"},
+		{"-exp", "fig8", "-scenario", "steady"},
+		{"-scenario", "steady", "-grid", "rate=2"},
+	} {
+		if _, err := runBench(t, args...); !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) err = %v, want errUsage", args, err)
+		}
+	}
+	if _, err := runBench(t, "stray-arg"); !errors.Is(err, errUsage) {
+		t.Errorf("stray non-key=value arg err = %v, want errUsage", err)
+	}
+}
+
+func TestGridFirstLine(t *testing.T) {
+	out, err := runBench(t, "-grid", "engine=splitwise", "rate=2", "duration=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(out, "\n")
+	if !strings.HasPrefix(first, "Model") || !strings.Contains(first, "Goodput(req/s)") {
+		t.Errorf("grid header = %q", first)
+	}
+}
+
+func TestScenarioCSVFirstLine(t *testing.T) {
+	out, err := runBench(t, "-scenario", "steady", "-quick", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(out, "\n")
+	if first != "Scenario,Engine,Tenant,Offered,Completed,Goodput(req/s),Attain(%),TTFT-p95(s),TPOT-p95(s),NormLat-mean(s/tok)" {
+		t.Errorf("scenario CSV header = %q", first)
+	}
+	if _, err := runBench(t, "-scenario", "no-such"); err == nil {
+		t.Error("unknown scenario should error")
+	}
+}
+
+// TestScenarioOutputJobsIndependent is the CLI half of the golden-trace
+// acceptance: the full scenario catalog must render byte-identically on a
+// serial pool and a racing 8-worker pool.
+func TestScenarioOutputJobsIndependent(t *testing.T) {
+	one, err := runBench(t, "-scenario", "all", "-jobs", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := runBench(t, "-scenario", "all", "-jobs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != eight {
+		t.Errorf("-scenario all differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s--- jobs=8\n%s", one, eight)
+	}
+}

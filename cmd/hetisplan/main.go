@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -19,23 +21,47 @@ import (
 	"hetis"
 )
 
+// errParse marks flag-parse failures the FlagSet already reported.
+var errParse = errors.New("flag parse error")
+
 func main() {
-	modelName := flag.String("model", "Llama-70B", "model preset name")
-	clusterSpec := flag.String("cluster", "paper", `"paper" or a list like "4xA100,4x3090,4xP100" (one host per entry)`)
-	batch := flag.Int("batch", 64, "expected concurrent decode batch (R)")
-	context := flag.Int("context", 600, "expected average context length")
-	prompt := flag.Int("prompt", 400, "expected average prompt length")
-	output := flag.Int("output", 240, "expected average output length")
-	delta := flag.Float64("delta", 0.05, "exclusion threshold Δ")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		// -h prints usage and succeeds, matching flag.ExitOnError.
+	case errors.Is(err, errParse):
+		os.Exit(2) // the FlagSet already reported the mistake
+	default:
+		fmt.Fprintf(os.Stderr, "hetisplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hetisplan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelName := fs.String("model", "Llama-70B", "model preset name")
+	clusterSpec := fs.String("cluster", "paper", `"paper" or a list like "4xA100,4x3090,4xP100" (one host per entry)`)
+	batch := fs.Int("batch", 64, "expected concurrent decode batch (R)")
+	context := fs.Int("context", 600, "expected average context length")
+	prompt := fs.Int("prompt", 400, "expected average prompt length")
+	output := fs.Int("output", 240, "expected average output length")
+	delta := fs.Float64("delta", 0.05, "exclusion threshold Δ")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
 
 	m, err := hetis.ModelByName(*modelName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cluster, err := parseCluster(*clusterSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	wl := hetis.PlanWorkload{
 		DecodeBatch: *batch, AvgContext: *context,
@@ -46,13 +72,14 @@ func main() {
 
 	plan, err := hetis.SearchPlan(cluster, m, wl, opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("model:    %s\ncluster:  %s\n", m, cluster)
-	fmt.Printf("searched: %d configurations in %v\n\n", plan.Evaluated, plan.Elapsed)
-	fmt.Print(plan)
-	fmt.Printf("\nmodeled decode step: %.2f ms   prefill: %.2f ms   KV capacity: %.1f GB\n",
+	fmt.Fprintf(stdout, "model:    %s\ncluster:  %s\n", m, cluster)
+	fmt.Fprintf(stdout, "searched: %d configurations in %v\n\n", plan.Evaluated, plan.Elapsed)
+	fmt.Fprint(stdout, plan)
+	fmt.Fprintf(stdout, "\nmodeled decode step: %.2f ms   prefill: %.2f ms   KV capacity: %.1f GB\n",
 		plan.DecodeStepCost*1e3, plan.PrefillCost*1e3, float64(plan.CacheCapacity)/1e9)
+	return nil
 }
 
 func parseCluster(spec string) (*hetis.Cluster, error) {
@@ -76,9 +103,4 @@ func parseCluster(spec string) (*hetis.Cluster, error) {
 		b.AddHost(fmt.Sprintf("host%d-%s", i, spec.Name), hetis.PCIe4x16, spec, n)
 	}
 	return b.Build()
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "hetisplan: %v\n", err)
-	os.Exit(1)
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestPlanFirstLine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "Llama-13B", "-cluster", "2xA100"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(out.String(), "\n")
+	if !strings.HasPrefix(first, "model:") || !strings.Contains(first, "Llama-13B") {
+		t.Errorf("first line = %q, want model: ... Llama-13B", first)
+	}
+	if !strings.Contains(out.String(), "modeled decode step:") {
+		t.Error("output missing the modeled-cost summary line")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-model", "no-such-model"},
+		{"-model", "Llama-13B", "-cluster", "bogus"},
+		{"-model", "Llama-13B", "-cluster", "NaNxA100"},
+		{"-model", "Llama-13B", "-cluster", "2xNoGPU"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -9,41 +9,63 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hetis"
 )
 
+// errParse marks flag-parse failures the FlagSet already reported.
+var errParse = errors.New("flag parse error")
+
 func main() {
-	modelName := flag.String("model", "OPT-30B", "model preset name")
-	primary := flag.Int("primary", 0, "device id of the primary worker (network reference)")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		// -h prints usage and succeeds, matching flag.ExitOnError.
+	case errors.Is(err, errParse):
+		os.Exit(2) // the FlagSet already reported the mistake
+	default:
+		fmt.Fprintf(os.Stderr, "hetisprofile: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hetisprofile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelName := fs.String("model", "OPT-30B", "model preset name")
+	primary := fs.Int("primary", 0, "device id of the primary worker (network reference)")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
 
 	m, err := hetis.ModelByName(*modelName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cluster := hetis.PaperCluster()
 	prof, err := hetis.ProfileCluster(m, cluster, hetis.DeviceID(*primary))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("model %s on %s (primary device %d)\n\n", m, cluster, *primary)
-	fmt.Printf("%-10s %-14s %-14s %-12s %-10s %-14s %-12s %-8s\n",
+	fmt.Fprintf(stdout, "model %s on %s (primary device %d)\n\n", m, cluster, *primary)
+	fmt.Fprintf(stdout, "%-10s %-14s %-14s %-12s %-10s %-14s %-12s %-8s\n",
 		"device", "a (s/head)", "b (s/byte)", "c (s)", "fit(%)", "γ (s/byte)", "β (s)", "net(%)")
 	for _, dev := range cluster.Devices {
 		am := prof.Attn[dev.ID]
 		nm := prof.Net[dev.ID]
-		fmt.Printf("%-10s %-14.3e %-14.3e %-12.3e %-10.1f %-14.3e %-12.3e %-8.1f\n",
+		fmt.Fprintf(stdout, "%-10s %-14.3e %-14.3e %-12.3e %-10.1f %-14.3e %-12.3e %-8.1f\n",
 			dev.String(), am.A, am.B, am.C, prof.AttnAccuracy[dev.ID]*100,
 			nm.Gamma, nm.Beta, prof.NetAccuracy[dev.ID]*100)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "hetisprofile: %v\n", err)
-	os.Exit(1)
+	return nil
 }

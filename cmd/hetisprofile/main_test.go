@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestProfileFirstLine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "OPT-13B"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(out.String(), "\n")
+	if !strings.HasPrefix(first, "model OPT-13B") || !strings.Contains(first, "primary device 0") {
+		t.Errorf("first line = %q", first)
+	}
+	// One fitted row per cluster device plus header lines.
+	if lines := strings.Count(out.String(), "\n"); lines < 5 {
+		t.Errorf("profile table only has %d lines", lines)
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	if err := run([]string{"-model", "no-such"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown model should error")
+	}
+}

@@ -8,30 +8,60 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"hetis"
 )
 
+// errUsage marks command-line mistakes (exit code 2, like flag errors);
+// run reports them to stderr itself.
+var errUsage = errors.New("usage: -exp is required (or use -list)")
+
+// errParse marks flag-parse failures the FlagSet already reported.
+var errParse = errors.New("flag parse error")
+
 func main() {
-	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
-	quick := flag.Bool("quick", false, "reduced-scale traces for fast runs")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		// -h prints usage and succeeds, matching flag.ExitOnError.
+	case errors.Is(err, errParse), errors.Is(err, errUsage):
+		os.Exit(2) // already reported
+	default:
+		fmt.Fprintf(os.Stderr, "hetissim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hetissim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment id (see -list), or 'all'")
+	quick := fs.Bool("quick", false, "reduced-scale traces for fast runs")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
 
 	if *list || *exp == "" {
-		fmt.Println("available experiments:")
+		fmt.Fprintln(stdout, "available experiments:")
 		for _, id := range hetis.ExperimentIDs() {
-			fmt.Printf("  %s\n", id)
+			fmt.Fprintf(stdout, "  %s\n", id)
 		}
 		if *exp == "" && !*list {
-			fmt.Fprintln(os.Stderr, "\nerror: -exp is required (or use -list)")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "\nerror: -exp is required (or use -list)")
+			return errUsage
 		}
-		return
+		return nil
 	}
 
 	ids := []string{*exp}
@@ -43,9 +73,9 @@ func main() {
 		start := time.Now()
 		tab, err := hetis.RunExperiment(id, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hetissim: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Printf("=== %s (%.2fs) ===\n%s\n", id, time.Since(start).Seconds(), tab)
+		fmt.Fprintf(stdout, "=== %s (%.2fs) ===\n%s\n", id, time.Since(start).Seconds(), tab)
 	}
+	return nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestListFirstLine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(out.String(), "\n")
+	if first != "available experiments:" {
+		t.Errorf("first line = %q", first)
+	}
+	if !strings.Contains(out.String(), "  table1\n") {
+		t.Error("-list output missing table1")
+	}
+}
+
+func TestNoExpIsUsageError(t *testing.T) {
+	var out bytes.Buffer
+	err := run(nil, &out, io.Discard)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+	// The experiment list still prints, so the user sees what to pass.
+	if !strings.Contains(out.String(), "available experiments:") {
+		t.Error("usage path should list experiments")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	err := run([]string{"-exp", "fig99"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Errorf("err = %v, want unknown-experiment naming fig99", err)
+	}
+}

@@ -10,83 +10,85 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"hetis"
 )
 
+// errParse marks flag-parse failures the FlagSet already reported.
+var errParse = errors.New("flag parse error")
+
 func main() {
-	engineName := flag.String("engine", "hetis", "hetis | splitwise | hexgen")
-	modelName := flag.String("model", "Llama-13B", "model preset")
-	dataset := flag.String("dataset", "SG", "SG | HE | LB")
-	rate := flag.Float64("rate", 5, "request rate (req/s)")
-	duration := flag.Float64("duration", 60, "trace duration (simulated seconds)")
-	seed := flag.Int64("seed", 1, "trace seed")
-	out := flag.String("out", "-", "output path ('-' = stdout)")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		// -h prints usage and succeeds, matching flag.ExitOnError.
+	case errors.Is(err, errParse):
+		os.Exit(2) // the FlagSet already reported the mistake
+	default:
+		fmt.Fprintf(os.Stderr, "hetistrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hetistrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	engineName := fs.String("engine", "hetis", strings.Join(hetis.EngineNames(), " | "))
+	modelName := fs.String("model", "Llama-13B", "model preset")
+	dataset := fs.String("dataset", "SG", "SG | HE | LB")
+	rate := fs.Float64("rate", 5, "request rate (req/s)")
+	duration := fs.Float64("duration", 60, "trace duration (simulated seconds)")
+	seed := fs.Int64("seed", 1, "trace seed")
+	out := fs.String("out", "-", "output path ('-' = stdout)")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
 
 	m, err := hetis.ModelByName(*modelName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	dist, err := hetis.DatasetByName(*dataset)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	reqs := hetis.PoissonTrace(dist, *rate, *duration, *seed)
 	cluster := hetis.PaperCluster()
 	cfg := hetis.DefaultEngineConfig(m, cluster)
 
-	var eng hetis.Engine
-	switch *engineName {
-	case "hetis":
-		plan, err := hetis.PlanDeployment(cfg, reqs)
-		if err != nil {
-			fatal(err)
-		}
-		eng, err = hetis.NewHetisEngine(cfg, plan)
-		if err != nil {
-			fatal(err)
-		}
-	case "splitwise":
-		eng, err = hetis.NewSplitwiseEngine(cfg)
-		if err != nil {
-			fatal(err)
-		}
-	case "hexgen":
-		eng, err = hetis.NewHexGenEngine(cfg)
-		if err != nil {
-			fatal(err)
-		}
-	default:
-		fatal(fmt.Errorf("unknown engine %q", *engineName))
+	eng, err := hetis.NewEngineByName(*engineName, cfg, reqs)
+	if err != nil {
+		return err
 	}
 
 	res, err := eng.Run(reqs, *duration*30)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := res.Trace.WriteJSONL(w); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "hetistrace: %s served %d/%d requests over %.1fs; %d events written\n",
+	fmt.Fprintf(stderr, "hetistrace: %s served %d/%d requests over %.1fs; %d events written\n",
 		eng.Name(), res.Completed, len(reqs), res.Horizon, res.Trace.Len())
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "hetistrace: %v\n", err)
-	os.Exit(1)
+	return nil
 }

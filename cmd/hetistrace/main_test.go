@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONLToStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-engine", "splitwise", "-dataset", "HE", "-rate", "2", "-duration", "3"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(out.String(), "\n")
+	if !strings.HasPrefix(first, "{") || !strings.Contains(first, `"kind"`) {
+		t.Errorf("first output line = %q, want a JSONL event", first)
+	}
+}
+
+func TestWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	err := run([]string{"-engine", "hexgen", "-dataset", "HE", "-rate", "2", "-duration", "3", "-out", path}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != '{' {
+		t.Errorf("trace file starts %q, want JSONL", data[:min(20, len(data))])
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-engine", "warp"},
+		{"-model", "no-such"},
+		{"-dataset", "XX"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -45,11 +45,31 @@ func ExampleRunGrid() {
 		log.Fatal(err)
 	}
 	for _, row := range tab.Rows {
-		fmt.Println(row[1], row[2], row[3], "->", row[5], "completed")
+		fmt.Println(row[2], row[3], row[4], "->", row[6], "completed")
 	}
 	// Output:
 	// HE 2 hetis -> 14 completed
 	// HE 2 splitwise -> 14 completed
 	// HE 8 hetis -> 36 completed
 	// HE 8 splitwise -> 36 completed
+}
+
+// ExampleRunScenarios pools the scenario catalog over workers; rows follow
+// catalog order (scenarios as named, engines in spec order) for any job
+// count.
+func ExampleRunScenarios() {
+	tab, err := hetis.RunScenarios([]string{"bursty", "steady"}, true, 0, hetis.SweepOptions{Jobs: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		fmt.Println(row[0], row[1], "tenant", row[2])
+	}
+	// Output:
+	// bursty hetis tenant all
+	// bursty hexgen tenant all
+	// bursty splitwise tenant all
+	// steady hetis tenant all
+	// steady hexgen tenant all
+	// steady splitwise tenant all
 }

@@ -41,6 +41,7 @@ import (
 	"hetis/internal/model"
 	"hetis/internal/parallelizer"
 	"hetis/internal/profile"
+	"hetis/internal/scenario"
 	"hetis/internal/sweep"
 	"hetis/internal/workload"
 )
@@ -295,9 +296,80 @@ func NewVLLMEngine(cfg EngineConfig) (*VLLMEngine, error) {
 	return engine.NewVLLM(cfg)
 }
 
+// EngineNames lists the buildable serving engines in comparison order.
+func EngineNames() []string { return append([]string(nil), engine.Names...) }
+
+// NewEngineByName builds the named engine ("hetis", "hexgen",
+// "splitwise", "vllm") for the config, planning Hetis for the trace (the
+// other engines ignore it).
+func NewEngineByName(name string, cfg EngineConfig, reqs []Request) (Engine, error) {
+	return engine.NewByName(name, cfg, reqs)
+}
+
 // TruncateTrace clamps every request of a trace to a model context window
 // (what serving front-ends do to oversized prompts). Engines already apply
 // this internally; the helper is for workload analysis.
 func TruncateTrace(reqs []Request, maxSeqLen int) []Request {
 	return workload.Truncate(reqs, maxSeqLen)
 }
+
+// --- Scenarios ----------------------------------------------------------------
+
+// Scenario is a declarative serving scenario: traffic shape, multi-tenant
+// workload mix, latency SLO, deployment, and engines.
+type Scenario = scenario.Spec
+
+// ScenarioTraffic declaratively describes an arrival process (poisson,
+// mmpp, diurnal, flashcrowd, closedloop).
+type ScenarioTraffic = scenario.Traffic
+
+// ScenarioOptions tunes a scenario run.
+type ScenarioOptions = scenario.Options
+
+// SLOTarget is a latency service objective (TTFT/TPOT ceilings); requests
+// meeting it count toward goodput.
+type SLOTarget = metrics.SLOTarget
+
+// TenantStats is one tenant's slice of a run: completions, SLO attainment,
+// goodput, and latency summaries.
+type TenantStats = metrics.TenantStats
+
+// MixEntry is one tenant of a multi-tenant workload mix.
+type MixEntry = workload.MixEntry
+
+// MMPPState is one phase of a cyclic Markov-modulated (bursty) Poisson
+// arrival process.
+type MMPPState = workload.MMPPState
+
+// DefaultSLO is the objective scenarios inherit when they set none.
+var DefaultSLO = scenario.DefaultSLO
+
+// ScenarioNames lists the registered scenarios in sorted order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName resolves a registered scenario.
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// RegisterScenario adds a scenario to the catalog.
+func RegisterScenario(s Scenario) error { return scenario.Register(s) }
+
+// RunScenario serves one scenario on every engine it names.
+func RunScenario(s Scenario, opts ScenarioOptions) (*Table, error) {
+	return scenario.Run(s, opts)
+}
+
+// RunScenarios serves the named scenarios (or all, for ["all"]) on a
+// bounded worker pool; the merged table follows catalog order,
+// byte-identical for any job count.
+func RunScenarios(names []string, quick bool, seed int64, pool SweepOptions) (*Table, error) {
+	return sweep.RunScenarios(names, quick, seed, pool)
+}
+
+// Bursty, diurnal, flash-crowd and closed-loop trace generators
+// (single-tenant; use Scenario specs for mixed traffic).
+var (
+	MMPPTrace       = workload.MMPP
+	DiurnalTrace    = workload.Diurnal
+	FlashCrowdTrace = workload.FlashCrowd
+	ClosedLoopTrace = workload.ClosedLoop
+)

@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"hetis/internal/workload"
+)
+
+// Names lists the buildable serving engines in comparison order. It is
+// the single source of the engine-name vocabulary; sweep grids and
+// scenario specs validate against it.
+var Names = []string{"hetis", "hexgen", "splitwise", "vllm"}
+
+// Known reports whether name is a buildable engine.
+func Known(name string) bool {
+	for _, n := range Names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NewByName constructs the named engine for the config, planning Hetis
+// for the given trace (the other engines ignore reqs).
+func NewByName(name string, cfg Config, reqs []workload.Request) (Engine, error) {
+	switch name {
+	case "hetis":
+		plan, err := PlanForWorkload(cfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+		return NewHetis(cfg, plan)
+	case "hexgen":
+		return NewHexGen(cfg)
+	case "splitwise":
+		return NewSplitwise(cfg)
+	case "vllm":
+		return NewVLLM(cfg)
+	}
+	return nil, fmt.Errorf("engine: unknown engine %q (known: %s)", name, strings.Join(Names, ", "))
+}

@@ -216,6 +216,7 @@ func recordFinish(rec *metrics.Recorder, r *request, now float64) {
 		FinishedAt: now,
 		PromptLen:  r.wl.PromptLen,
 		OutputLen:  r.wl.OutputLen,
+		Tenant:     r.wl.Tenant,
 		Evicted:    r.evicted,
 	})
 }

@@ -55,6 +55,7 @@ var registry = map[string]Runner{
 	"search":     SearchOverhead,
 	"accuracy":   ModelAccuracy,
 	"throughput": Throughput,
+	"scenarios":  Scenarios,
 	// Ablations beyond the paper's figures (DESIGN.md §4).
 	"ablation-split":     AblationSplit,
 	"ablation-delta":     AblationDelta,

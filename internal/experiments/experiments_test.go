@@ -48,7 +48,7 @@ func (st *stringsTable) float(t *testing.T, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation-delta", "ablation-dispatch", "ablation-dp", "ablation-hetero", "ablation-migration", "ablation-search",
 		"ablation-split", "accuracy", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a",
-		"fig15b", "fig16a", "fig16b", "fig2", "fig5", "fig7", "fig8", "fig9", "search", "table1", "throughput"}
+		"fig15b", "fig16a", "fig16b", "fig2", "fig5", "fig7", "fig8", "fig9", "scenarios", "search", "table1", "throughput"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs() = %v want %v", got, want)

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"hetis/internal/scenario"
+)
+
+func TestScenariosExperiment(t *testing.T) {
+	st := runOK(t, "scenarios")
+	if got, want := st.header[0], "Scenario"; got != want {
+		t.Fatalf("header[0] = %q, want %q", got, want)
+	}
+	// Every registered scenario contributes at least one row per engine,
+	// in catalog order.
+	seen := map[string]int{}
+	for _, row := range st.rows {
+		seen[row[0]]++
+	}
+	for _, name := range scenario.Names() {
+		if seen[name] < 3 {
+			t.Errorf("scenario %s has %d rows, want >= 3 (one per engine)", name, seen[name])
+		}
+	}
+	// Attainment is a percentage.
+	attainCol := st.col("Attain(%)")
+	if attainCol < 0 {
+		t.Fatal("no Attain(%) column")
+	}
+	for i := range st.rows {
+		if v := st.float(t, i, attainCol); v < 0 || v > 100 {
+			t.Errorf("row %d attainment %g outside [0,100]", i, v)
+		}
+	}
+	// The multitenant scenario reports per-tenant rows.
+	tenants := map[string]bool{}
+	for _, row := range st.rows {
+		if row[0] == "multitenant" {
+			tenants[row[2]] = true
+		}
+	}
+	for _, want := range []string{"all", "chat", "code", "batch"} {
+		if !tenants[want] {
+			t.Errorf("multitenant rows missing tenant %q (have %v)", want, tenants)
+		}
+	}
+}
+
+// TestScenariosSeedOffsetChangesTraffic: replicas must draw independent
+// traces, like every other experiment.
+func TestScenariosSeedOffsetChangesTraffic(t *testing.T) {
+	a, err := Scenarios(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scenarios(Options{Quick: true, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("seed offset did not change the scenario tables")
+	}
+}

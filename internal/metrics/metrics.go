@@ -19,6 +19,9 @@ type RequestRecord struct {
 	FinishedAt float64
 	PromptLen  int
 	OutputLen  int
+	// Tenant is the traffic class of multi-tenant workloads ("" for
+	// single-tenant traces); see workload.Request.Tenant.
+	Tenant string
 	// Evicted marks requests whose processing was restarted at least once.
 	Evicted bool
 }

@@ -1,0 +1,110 @@
+// Service-level objectives: per-request attainment against TTFT/TPOT
+// targets, goodput (attained requests per second), and per-tenant
+// breakdowns. Real serving systems are judged on how much traffic they
+// serve *within* latency targets, not on raw latency summaries; these
+// helpers make that the first-class metric of scenario runs.
+
+package metrics
+
+import "sort"
+
+// SLOTarget is a latency service objective. A zero field leaves that
+// dimension unconstrained, so the zero SLOTarget is attained by every
+// finished request.
+type SLOTarget struct {
+	TTFT float64 // max time-to-first-token, seconds (0 = unconstrained)
+	TPOT float64 // max time per output token, seconds (0 = unconstrained)
+}
+
+// IsZero reports whether no objective is set.
+func (s SLOTarget) IsZero() bool { return s.TTFT == 0 && s.TPOT == 0 }
+
+// Attained reports whether the request met every set objective.
+func (s SLOTarget) Attained(r RequestRecord) bool {
+	if s.TTFT > 0 && r.TTFT() > s.TTFT {
+		return false
+	}
+	if s.TPOT > 0 && r.TPOT() > s.TPOT {
+		return false
+	}
+	return true
+}
+
+// Attained counts the recorded requests meeting the SLO.
+func (c *Recorder) Attained(slo SLOTarget) int {
+	n := 0
+	for _, r := range c.records {
+		if slo.Attained(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Attainment is the fraction of recorded requests meeting the SLO
+// (0 when nothing finished — an idle system attains nothing).
+func (c *Recorder) Attainment(slo SLOTarget) float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	return float64(c.Attained(slo)) / float64(len(c.records))
+}
+
+// Goodput is the rate of SLO-attaining completions over the horizon,
+// in requests per second. Requests that never finished count against it
+// implicitly: they are not in the recorder.
+func (c *Recorder) Goodput(slo SLOTarget, horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(c.Attained(slo)) / horizon
+}
+
+// TenantStats is one tenant's slice of a run.
+type TenantStats struct {
+	Tenant     string
+	Count      int     // finished requests
+	Attainment float64 // fraction of finished requests meeting the SLO
+	Goodput    float64 // attained req/s over the horizon
+	TTFT       Summary
+	TPOT       Summary
+	NormLat    Summary
+}
+
+// Tenants returns the distinct tenant names seen, sorted ascending (the
+// empty single-tenant name sorts first).
+func (c *Recorder) Tenants() []string {
+	seen := map[string]bool{}
+	for _, r := range c.records {
+		seen[r.Tenant] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PerTenant breaks the run down by tenant, sorted by tenant name.
+func (c *Recorder) PerTenant(slo SLOTarget, horizon float64) []TenantStats {
+	byTenant := map[string][]RequestRecord{}
+	for _, r := range c.records {
+		byTenant[r.Tenant] = append(byTenant[r.Tenant], r)
+	}
+	out := make([]TenantStats, 0, len(byTenant))
+	for _, name := range c.Tenants() {
+		recs := byTenant[name]
+		sub := Recorder{records: recs}
+		out = append(out, TenantStats{
+			Tenant:     name,
+			Count:      len(recs),
+			Attainment: sub.Attainment(slo),
+			Goodput:    sub.Goodput(slo, horizon),
+			TTFT:       sub.TTFTSummary(),
+			TPOT:       sub.TPOTSummary(),
+			NormLat:    sub.NormLatencySummary(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/*.golden from the current engines")
+
+// TestGolden pins every registered scenario's full CSV output — per-engine
+// and per-tenant goodput, attainment, and latency columns — against a
+// golden file. Any change anywhere in the serving stack (engine batching,
+// dispatch LP, kvcache eviction, perf model, workload sampling) that
+// shifts a scheduling decision shows up here as a reviewable diff instead
+// of silently drifting downstream results. Regenerate with:
+//
+//	go test ./internal/scenario -run TestGolden -update
+func TestGolden(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := Run(spec, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := []byte(tab.CSV())
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("scenario %q drifted from its golden trace (rerun with -update if the change is intended):\n%s",
+					name, diffLines(want, got))
+			}
+		})
+	}
+}
+
+// diffLines renders a minimal line diff of two CSV bodies.
+func diffLines(want, got []byte) string {
+	w := bytes.Split(bytes.TrimRight(want, "\n"), []byte("\n"))
+	g := bytes.Split(bytes.TrimRight(got, "\n"), []byte("\n"))
+	var out bytes.Buffer
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if bytes.Equal(wl, gl) {
+			continue
+		}
+		fmt.Fprintf(&out, "line %d:\n  want: %s\n  got:  %s\n", i+1, wl, gl)
+	}
+	return out.String()
+}
+
+// TestGoldenFilesCoverRegistry fails when a golden exists for no
+// registered scenario (stale file) so the testdata directory and the
+// catalog cannot drift apart. The other direction — a scenario with no
+// golden — already fails in TestGolden.
+func TestGoldenFilesCoverRegistry(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, name := range Names() {
+		known[name+".golden"] = true
+	}
+	for _, e := range entries {
+		if !known[e.Name()] {
+			t.Errorf("testdata/%s matches no registered scenario; delete it or register the scenario", e.Name())
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hetis/internal/workload"
+)
+
+var (
+	regMu sync.RWMutex
+	specs = map[string]Spec{}
+)
+
+// Register adds a scenario to the catalog. Names are unique; registering a
+// known name or an invalid spec errors.
+func Register(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := specs[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	specs[s.Name] = s
+	return nil
+}
+
+// ByName resolves a registered scenario.
+func ByName(name string) (Spec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := specs[name]
+	if !ok {
+		// Build the list inline: calling Names() here would re-acquire
+		// regMu.RLock and deadlock against a writer waiting in Register.
+		known := make([]string, 0, len(specs))
+		for n := range specs {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (known: %v)", name, known)
+	}
+	return s, nil
+}
+
+// Names lists the registered scenarios in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(specs))
+	for name := range specs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The built-in catalog: one scenario per traffic shape the workload layer
+// supports, plus the multi-tenant mix. Rates are sized for Llama-13B on
+// the paper cluster so the engines are loaded but not hopeless, and the
+// shapes are duration-relative so Quick runs keep them intact.
+func init() {
+	builtins := []Spec{
+		{
+			Name:        "steady",
+			Description: "steady Poisson chat traffic at 5 req/s (the paper's serving baseline)",
+			Traffic:     Traffic{Kind: KindPoisson, Rate: 5},
+		},
+		{
+			Name:        "bursty",
+			Description: "two-state MMPP: 12 req/s bursts (mean 4 s) between 1.5 req/s lulls (mean 8 s)",
+			Traffic: Traffic{Kind: KindMMPP, States: []workload.MMPPState{
+				{Rate: 12, MeanDwell: 4},
+				{Rate: 1.5, MeanDwell: 8},
+			}},
+		},
+		{
+			Name:        "diurnal",
+			Description: "sinusoidal day/night load: 4 req/s ± 80% over one cycle per trace",
+			Traffic:     Traffic{Kind: KindDiurnal, Rate: 4, Amplitude: 0.8, Cycles: 1},
+		},
+		{
+			Name:        "flashcrowd",
+			Description: "2.5 req/s with a 6x spike over the middle sixth of the trace",
+			Traffic:     Traffic{Kind: KindFlashCrowd, Rate: 2.5, SpikeStart: 0.4, SpikeFrac: 1.0 / 6, SpikeFactor: 6},
+		},
+		{
+			Name:        "multitenant",
+			Description: "6 req/s shared by chat (SG, w3), code (HE, w2) and batch summarization (LB, w1) tenants",
+			Traffic:     Traffic{Kind: KindPoisson, Rate: 6},
+			Mix: []workload.MixEntry{
+				{Tenant: "chat", Dataset: workload.ShareGPT, Weight: 3},
+				{Tenant: "code", Dataset: workload.HumanEval, Weight: 2},
+				{Tenant: "batch", Dataset: workload.LongBench, Weight: 1},
+			},
+		},
+		{
+			Name:        "closedloop",
+			Description: "closed-loop population: 48 sessions with 8 s mean think time (~6 req/s offered)",
+			Traffic:     Traffic{Kind: KindClosedLoop, Users: 48, Think: 8},
+		},
+	}
+	for _, s := range builtins {
+		if err := Register(s); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"hetis/internal/engine"
+	"hetis/internal/hardware"
+	"hetis/internal/metrics"
+	"hetis/internal/model"
+	"hetis/internal/workload"
+)
+
+// Header is the column layout of scenario tables. Every engine contributes
+// an aggregate row (Tenant "all"); multi-tenant scenarios add one row per
+// tenant. Goodput and Attain are measured against the spec's SLO.
+var Header = []string{
+	"Scenario", "Engine", "Tenant",
+	"Offered", "Completed", "Goodput(req/s)", "Attain(%)",
+	"TTFT-p95(s)", "TPOT-p95(s)", "NormLat-mean(s/tok)",
+}
+
+// EngineBuilder constructs a named engine for a config and the trace it
+// will serve. The sweep pool injects a cache-backed builder here so grid
+// points share plans and profile fits; nil falls back to BuildEngine.
+type EngineBuilder func(name string, cfg engine.Config, reqs []workload.Request) (engine.Engine, error)
+
+// Options tunes a scenario run.
+type Options struct {
+	// Quick quarters the trace duration, like experiments.Options.Quick.
+	Quick bool
+	// Build overrides engine construction (nil = BuildEngine).
+	Build EngineBuilder
+}
+
+// BuildEngine directly constructs the named engine, planning Hetis for the
+// trace.
+func BuildEngine(name string, cfg engine.Config, reqs []workload.Request) (engine.Engine, error) {
+	return engine.NewByName(name, cfg, reqs)
+}
+
+func clusterByName(name string) (*hardware.Cluster, error) {
+	switch name {
+	case "", "paper":
+		return hardware.PaperCluster(), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown cluster %q", name)
+}
+
+// Prepare resolves a spec into its effective form for a run: defaults
+// filled and Quick scaling applied. Pooled runners use it so the trace
+// they cache matches the trace RunEngine generates.
+func Prepare(spec Spec, quick bool) Spec {
+	spec = spec.WithDefaults()
+	if quick {
+		spec.Duration /= 4
+	}
+	return spec
+}
+
+// RunEngine serves the scenario's trace on one engine and returns its rows:
+// the aggregate first, then per-tenant rows for multi-tenant mixes.
+func RunEngine(spec Spec, engineName string, opts Options) (*metrics.Table, error) {
+	spec = Prepare(spec, opts.Quick)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !engine.Known(engineName) {
+		return nil, fmt.Errorf("scenario %s: unknown engine %q", spec.Name, engineName)
+	}
+	reqs, err := spec.Trace()
+	if err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("scenario %s: empty trace", spec.Name)
+	}
+	m, err := model.ByName(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := clusterByName(spec.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	build := opts.Build
+	if build == nil {
+		build = BuildEngine
+	}
+	cfg := engine.DefaultConfig(m, cluster)
+	eng, err := build(engineName, cfg, reqs)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s/%s: %w", spec.Name, engineName, err)
+	}
+	res, err := eng.Run(reqs, spec.Duration*30)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s/%s: %w", spec.Name, engineName, err)
+	}
+
+	tab := &metrics.Table{Header: Header}
+	rec := res.Recorder
+	tab.AddRow(spec.Name, engineName, "all",
+		len(reqs), rec.Count(),
+		rec.Goodput(spec.SLO, res.Horizon),
+		100*rec.Attainment(spec.SLO),
+		rec.TTFTSummary().P95,
+		rec.TPOTSummary().P95,
+		rec.NormLatencySummary().Mean)
+
+	if multiTenant(reqs) {
+		offered := map[string]int{}
+		for _, r := range reqs {
+			offered[r.Tenant]++
+		}
+		byTenant := map[string]metrics.TenantStats{}
+		for _, ts := range rec.PerTenant(spec.SLO, res.Horizon) {
+			byTenant[ts.Tenant] = ts
+		}
+		// Walk the trace's tenant set (sorted), not the recorder's, so
+		// tenants whose every request starved still show a zero row.
+		for _, tenant := range tenantNames(offered) {
+			ts := byTenant[tenant]
+			tab.AddRow(spec.Name, engineName, tenant,
+				offered[tenant], ts.Count,
+				ts.Goodput, 100*ts.Attainment,
+				ts.TTFT.P95, ts.TPOT.P95,
+				ts.NormLat.Mean)
+		}
+	}
+	return tab, nil
+}
+
+// Run serves the scenario on every engine it names, rows in engine order.
+func Run(spec Spec, opts Options) (*metrics.Table, error) {
+	spec = Prepare(spec, opts.Quick)
+	opts.Quick = false // already applied
+	tab := &metrics.Table{Header: Header}
+	for _, eng := range spec.Engines {
+		sub, err := RunEngine(spec, eng, opts)
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, sub.Rows...)
+	}
+	return tab, nil
+}
+
+func multiTenant(reqs []workload.Request) bool {
+	for _, r := range reqs {
+		if r.Tenant != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func tenantNames(offered map[string]int) []string {
+	names := make([]string, 0, len(offered))
+	for name := range offered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

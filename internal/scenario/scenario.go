@@ -1,0 +1,245 @@
+// Package scenario turns the simulator into a scenario catalog: a
+// declarative Spec names a traffic shape (steady, bursty, diurnal,
+// flash-crowd, closed-loop), a multi-tenant workload mix, a latency SLO,
+// and the engines to run it on. Scenarios are registered by name, runnable
+// standalone, through the sweep pool, or as a hetisbench flag, and every
+// registered scenario is pinned by a golden-trace regression file under
+// testdata/ so a scheduling change anywhere in the stack surfaces as a
+// reviewable diff instead of a silent drift.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetis/internal/engine"
+	"hetis/internal/metrics"
+	"hetis/internal/model"
+	"hetis/internal/workload"
+)
+
+// Traffic kinds.
+const (
+	KindPoisson    = "poisson"
+	KindMMPP       = "mmpp"
+	KindDiurnal    = "diurnal"
+	KindFlashCrowd = "flashcrowd"
+	KindClosedLoop = "closedloop"
+)
+
+// Traffic declaratively describes an arrival process. Time-shape
+// parameters (Cycles, SpikeStart, SpikeFrac) are fractions of the trace
+// duration, so shrinking a scenario (Quick mode) shrinks the whole shape
+// instead of pushing the interesting part past the end of the trace.
+type Traffic struct {
+	// Kind selects the process: poisson, mmpp, diurnal, flashcrowd,
+	// closedloop.
+	Kind string
+
+	// Rate is the base arrival rate in req/s (poisson, diurnal,
+	// flashcrowd).
+	Rate float64
+
+	// States is the cyclic MMPP state list (mmpp).
+	States []workload.MMPPState
+
+	// Amplitude is the diurnal rate swing as a fraction of Rate in [0, 1];
+	// Cycles is how many full sinusoid periods fit in the trace
+	// (default 1).
+	Amplitude float64
+	Cycles    float64
+
+	// SpikeStart and SpikeFrac place the flash-crowd spike as fractions of
+	// the trace duration; SpikeFactor multiplies Rate during the spike.
+	SpikeStart  float64
+	SpikeFrac   float64
+	SpikeFactor float64
+
+	// Users and Think describe the closed-loop population: Users sessions
+	// each pausing Exp(Think) seconds between requests.
+	Users int
+	Think float64
+}
+
+// Validate reports traffic description errors.
+func (t Traffic) Validate() error {
+	switch t.Kind {
+	case KindPoisson, KindDiurnal:
+		if t.Rate <= 0 {
+			return fmt.Errorf("scenario: %s traffic needs Rate > 0", t.Kind)
+		}
+	case KindFlashCrowd:
+		if t.Rate <= 0 {
+			return fmt.Errorf("scenario: %s traffic needs Rate > 0", t.Kind)
+		}
+		// A flash crowd without a real spike would silently degenerate to
+		// steady Poisson under the scenario's label.
+		if t.SpikeFrac <= 0 || t.SpikeFactor <= 0 {
+			return fmt.Errorf("scenario: flashcrowd traffic needs SpikeFrac > 0 and SpikeFactor > 0")
+		}
+		if t.SpikeStart < 0 || t.SpikeStart+t.SpikeFrac > 1 {
+			return fmt.Errorf("scenario: flashcrowd spike window [%g, %g] outside the trace (fractions of duration)",
+				t.SpikeStart, t.SpikeStart+t.SpikeFrac)
+		}
+	case KindMMPP:
+		if len(t.States) == 0 {
+			return fmt.Errorf("scenario: mmpp traffic needs States")
+		}
+		for i, st := range t.States {
+			if st.Rate < 0 || st.MeanDwell <= 0 {
+				return fmt.Errorf("scenario: mmpp state %d invalid (rate %g, dwell %g)", i, st.Rate, st.MeanDwell)
+			}
+		}
+	case KindClosedLoop:
+		if t.Users <= 0 || t.Think <= 0 {
+			return fmt.Errorf("scenario: closedloop traffic needs Users > 0 and Think > 0")
+		}
+	default:
+		return fmt.Errorf("scenario: unknown traffic kind %q", t.Kind)
+	}
+	return nil
+}
+
+// Times generates the arrival times over [0, duration).
+func (t Traffic) Times(duration float64, rng *rand.Rand) []float64 {
+	switch t.Kind {
+	case KindPoisson:
+		return workload.PoissonTimes(t.Rate, duration, rng)
+	case KindMMPP:
+		return workload.MMPPTimes(t.States, duration, rng)
+	case KindDiurnal:
+		cycles := t.Cycles
+		if cycles <= 0 {
+			cycles = 1
+		}
+		return workload.DiurnalTimes(t.Rate, t.Amplitude, duration/cycles, duration, rng)
+	case KindFlashCrowd:
+		return workload.FlashCrowdTimes(t.Rate, t.SpikeStart*duration, t.SpikeFrac*duration, t.SpikeFactor, duration, rng)
+	case KindClosedLoop:
+		return workload.ClosedLoopTimes(t.Users, t.Think, duration, rng)
+	}
+	return nil
+}
+
+// MeanRate estimates the long-run offered rate in req/s, for display.
+func (t Traffic) MeanRate() float64 {
+	switch t.Kind {
+	case KindPoisson, KindDiurnal:
+		return t.Rate
+	case KindFlashCrowd:
+		return t.Rate * (1 + t.SpikeFrac*(t.SpikeFactor-1))
+	case KindMMPP:
+		var rate, dwell float64
+		for _, st := range t.States {
+			rate += st.Rate * st.MeanDwell
+			dwell += st.MeanDwell
+		}
+		if dwell == 0 {
+			return 0
+		}
+		return rate / dwell
+	case KindClosedLoop:
+		if t.Think == 0 {
+			return 0
+		}
+		return float64(t.Users) / t.Think
+	}
+	return 0
+}
+
+// DefaultSLO is the latency objective scenarios inherit when they do not
+// set one: first token within 1.5 s, then 0.1 s per token (a conversational
+// read-speed target tight enough that overloaded engines visibly miss it).
+var DefaultSLO = metrics.SLOTarget{TTFT: 1.5, TPOT: 0.1}
+
+// Spec is a declarative serving scenario.
+type Spec struct {
+	Name        string
+	Description string
+
+	// Traffic is the arrival process.
+	Traffic Traffic
+	// Mix is the weighted multi-tenant workload mix; empty means
+	// single-tenant ShareGPT.
+	Mix []workload.MixEntry
+	// SLO is the latency objective goodput is measured against; zero takes
+	// DefaultSLO.
+	SLO metrics.SLOTarget
+
+	// Model and Cluster pick the deployment; defaults: Llama-13B on the
+	// paper cluster.
+	Model   string
+	Cluster string
+	// Engines lists the systems to run, in row order; default hetis,
+	// hexgen, splitwise.
+	Engines []string
+
+	// Duration is the trace length in simulated seconds (default 40);
+	// Seed drives all sampling (default 1).
+	Duration float64
+	Seed     int64
+}
+
+// WithDefaults fills unset fields.
+func (s Spec) WithDefaults() Spec {
+	if s.SLO.IsZero() {
+		s.SLO = DefaultSLO
+	}
+	if s.Model == "" {
+		s.Model = model.Llama13B.Name
+	}
+	if s.Cluster == "" {
+		s.Cluster = "paper"
+	}
+	if len(s.Engines) == 0 {
+		s.Engines = []string{"hetis", "hexgen", "splitwise"}
+	}
+	if s.Duration <= 0 {
+		s.Duration = 40
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Validate reports spec errors. It validates the defaulted spec, so a
+// partially specified spec is fine.
+func (s Spec) Validate() error {
+	s = s.WithDefaults()
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name")
+	}
+	if err := s.Traffic.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if err := workload.ValidateMix(s.Mix); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if _, err := model.ByName(s.Model); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if _, err := clusterByName(s.Cluster); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	for _, e := range s.Engines {
+		if !engine.Known(e) {
+			return fmt.Errorf("scenario %s: unknown engine %q", s.Name, e)
+		}
+	}
+	return nil
+}
+
+// Trace generates the scenario's request trace: arrival times from the
+// traffic process, tenants and lengths from the mix. Deterministic in
+// (spec, Seed).
+func (s Spec) Trace() ([]workload.Request, error) {
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	times := s.Traffic.Times(s.Duration, rand.New(rand.NewSource(s.Seed)))
+	// The mix draws from an independent stream so reshaping traffic does
+	// not reshuffle tenant assignments and lengths.
+	return workload.Assemble(times, s.Mix, s.Seed+1), nil
+}

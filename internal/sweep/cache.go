@@ -11,16 +11,22 @@ import (
 	"hetis/internal/parallelizer"
 	"hetis/internal/perf"
 	"hetis/internal/profile"
+	"hetis/internal/scenario"
 	"hetis/internal/workload"
 )
 
-// TraceKey identifies one generated trace: a dataset preset, an arrival
-// rate, a duration, and the seed of the arrival/length sampling.
+// TraceKey identifies one generated trace: either a (dataset, rate)
+// Poisson trace or a registered scenario's trace, plus the duration and
+// the seed of the arrival/length sampling.
 type TraceKey struct {
 	Dataset  string // preset name or code accepted by workload.ByName
 	Rate     float64
 	Duration float64
 	Seed     int64
+	// Scenario, when set, generates the trace from the named scenario spec
+	// (Dataset and Rate are ignored; Duration and Seed override the
+	// spec's).
+	Scenario string
 }
 
 // planKey identifies a parallelizer plan: the model and cluster the search
@@ -103,11 +109,24 @@ func (c *Cache) Stats() (hits, misses int) {
 	return int(c.hits.Load()), int(c.misses.Load())
 }
 
-// Trace returns the memoized Poisson trace for the key. The returned slice
-// is shared; callers must not mutate it.
+// Trace returns the memoized trace for the key — a Poisson trace of the
+// keyed dataset and rate, or the keyed scenario's trace. The returned
+// slice is shared; callers must not mutate it.
 func (c *Cache) Trace(k TraceKey) ([]workload.Request, error) {
 	e := lookup(c, c.traces, k)
 	e.once.Do(func() {
+		if k.Scenario != "" {
+			spec, err := scenario.ByName(k.Scenario)
+			if err != nil {
+				e.err = err
+				return
+			}
+			spec = spec.WithDefaults()
+			spec.Duration = k.Duration
+			spec.Seed = k.Seed
+			e.val, e.err = spec.Trace()
+			return
+		}
 		dist, err := workload.ByName(k.Dataset)
 		if err != nil {
 			e.err = err
@@ -145,12 +164,11 @@ func (c *Cache) Profile(m model.Config, cluster *hardware.Cluster, primary hardw
 	return e.val, e.err
 }
 
-// BuildEngine constructs the named engine ("hetis", "splitwise", "hexgen",
-// "vllm") for the config, routing the Hetis plan and profile fit through
-// the cache so grid points sharing a model and trace share that work.
+// BuildEngine constructs the named engine (see engine.Names) for the
+// config, routing the Hetis plan and profile fit through the cache so
+// grid points sharing a model and trace share that work.
 func (c *Cache) BuildEngine(name string, cfg engine.Config, k TraceKey) (engine.Engine, error) {
-	switch name {
-	case "hetis":
+	if name == "hetis" {
 		plan, err := c.Plan(cfg, k)
 		if err != nil {
 			return nil, err
@@ -164,12 +182,7 @@ func (c *Cache) BuildEngine(name string, cfg engine.Config, k TraceKey) (engine.
 			return nil, err
 		}
 		return engine.NewHetisWithProfile(cfg, plan, prof)
-	case "splitwise":
-		return engine.NewSplitwise(cfg)
-	case "hexgen":
-		return engine.NewHexGen(cfg)
-	case "vllm":
-		return engine.NewVLLM(cfg)
 	}
-	return nil, errUnknownEngine(name)
+	// The other engines need no trace-derived state.
+	return engine.NewByName(name, cfg, nil)
 }

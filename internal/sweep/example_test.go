@@ -30,7 +30,7 @@ func ExampleRunMany() {
 	}
 	for _, r := range results {
 		// Columns: ..., Requests, Completed, ...
-		fmt.Printf("%s completed %s/%s\n", r.Key, r.Table.Rows[0][5], r.Table.Rows[0][4])
+		fmt.Printf("%s completed %s/%s\n", r.Key, r.Table.Rows[0][6], r.Table.Rows[0][5])
 	}
 	// Output:
 	// Llama-13B/HE/2/hetis completed 14/14

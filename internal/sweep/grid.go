@@ -10,25 +10,33 @@ import (
 	"hetis/internal/hardware"
 	"hetis/internal/metrics"
 	"hetis/internal/model"
+	"hetis/internal/scenario"
 )
 
 // Engines lists the engine names a grid point may name, in comparison
-// order.
-var Engines = []string{"hetis", "hexgen", "splitwise", "vllm"}
+// order (the engine package's buildable set).
+var Engines = engine.Names
 
 func errUnknownEngine(name string) error {
 	return fmt.Errorf("sweep: unknown engine %q (known: %s)", name, strings.Join(Engines, ", "))
 }
 
 // GridSpec describes a sweep over the cartesian product
-// {model × dataset × rate × engine}. Zero-valued fields take defaults:
+// {model × dataset × rate × engine} or, with Scenarios set,
+// {model × scenario × engine}. Zero-valued fields take defaults:
 // Llama-13B, ShareGPT, 5 req/s, the three paper systems, 40 s traces,
-// seed 1.
+// seed 1. Scenarios define their own traffic and workload mix, so the
+// scenario dimension excludes Datasets and Rates.
 type GridSpec struct {
 	Engines  []string  // engine names (see Engines)
 	Models   []string  // model preset names (model.ByName)
 	Datasets []string  // dataset preset names or codes (workload.ByName)
 	Rates    []float64 // arrival rates, req/s
+	// Scenarios names registered scenarios (scenario.Names); when set,
+	// Datasets and Rates must be empty and each point's trace, mix, and
+	// SLO come from the scenario spec (Duration and Seed still come from
+	// the grid).
+	Scenarios []string
 
 	// Duration is the trace length in seconds; Quick quarters it, like
 	// experiments.Options.Quick.
@@ -49,11 +57,13 @@ func (s GridSpec) withDefaults() GridSpec {
 	if len(s.Models) == 0 {
 		s.Models = []string{model.Llama13B.Name}
 	}
-	if len(s.Datasets) == 0 {
-		s.Datasets = []string{"SG"}
-	}
-	if len(s.Rates) == 0 {
-		s.Rates = []float64{5}
+	if len(s.Scenarios) == 0 {
+		if len(s.Datasets) == 0 {
+			s.Datasets = []string{"SG"}
+		}
+		if len(s.Rates) == 0 {
+			s.Rates = []float64{5}
+		}
 	}
 	if s.Duration <= 0 {
 		s.Duration = 40
@@ -68,17 +78,31 @@ func (s GridSpec) withDefaults() GridSpec {
 	return s
 }
 
+// validate rejects dimension combinations Points would silently ignore.
+func (s GridSpec) validate() error {
+	if len(s.Scenarios) > 0 && (len(s.Datasets) > 0 || len(s.Rates) > 0) {
+		return fmt.Errorf("sweep: the scenario dimension excludes dataset and rate (scenarios carry their own traffic and mix)")
+	}
+	return nil
+}
+
 // Point is one grid coordinate.
 type Point struct {
 	Model   string
 	Dataset string
 	Rate    float64
 	Engine  string
+	// Scenario is set instead of Dataset/Rate on scenario grids.
+	Scenario string
 }
 
-// Key renders the coordinate as "model/dataset/rate/engine"; it is the
-// job key and therefore the sort key of the sweep's rows.
+// Key renders the coordinate as "model/dataset/rate/engine" (or
+// "model/scenario/engine" on scenario grids); it is the job key and
+// therefore the sort key of the sweep's rows.
 func (p Point) Key() string {
+	if p.Scenario != "" {
+		return fmt.Sprintf("%s/%s/%s", p.Model, p.Scenario, p.Engine)
+	}
 	return fmt.Sprintf("%s/%s/%s/%s", p.Model, p.Dataset, strconv.FormatFloat(p.Rate, 'g', -1, 64), p.Engine)
 }
 
@@ -88,6 +112,14 @@ func (s GridSpec) Points() []Point {
 	s = s.withDefaults()
 	var pts []Point
 	for _, m := range s.Models {
+		if len(s.Scenarios) > 0 {
+			for _, sc := range s.Scenarios {
+				for _, eng := range s.Engines {
+					pts = append(pts, Point{Model: m, Scenario: sc, Engine: eng})
+				}
+			}
+			continue
+		}
 		for _, ds := range s.Datasets {
 			for _, rate := range s.Rates {
 				for _, eng := range s.Engines {
@@ -99,10 +131,12 @@ func (s GridSpec) Points() []Point {
 	return pts
 }
 
-// GridHeader is the column layout of RunGrid and RunPoint tables.
+// GridHeader is the column layout of RunGrid and RunPoint tables. Goodput
+// and Attain measure SLO attainment: against the scenario's SLO on
+// scenario grids, against scenario.DefaultSLO otherwise.
 var GridHeader = []string{
-	"Model", "Dataset", "Rate(req/s)", "Engine",
-	"Requests", "Completed", "Throughput(req/s)",
+	"Model", "Scenario", "Dataset", "Rate(req/s)", "Engine",
+	"Requests", "Completed", "Throughput(req/s)", "Goodput(req/s)", "Attain(%)",
 	"NormLat-mean(s/tok)", "TTFT-p95(s)", "TPOT-p95(s)",
 }
 
@@ -115,7 +149,16 @@ func RunPoint(s GridSpec, p Point, c *Cache) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	slo := scenario.DefaultSLO
 	k := TraceKey{Dataset: p.Dataset, Rate: p.Rate, Duration: s.Duration, Seed: s.Seed}
+	if p.Scenario != "" {
+		spec, err := scenario.ByName(p.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		slo = spec.WithDefaults().SLO
+		k = TraceKey{Scenario: p.Scenario, Duration: s.Duration, Seed: s.Seed}
+	}
 	reqs, err := c.Trace(k)
 	if err != nil {
 		return nil, err
@@ -132,9 +175,15 @@ func RunPoint(s GridSpec, p Point, c *Cache) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	scenarioCol, datasetCol, rateCol := "-", p.Dataset, any(p.Rate)
+	if p.Scenario != "" {
+		scenarioCol, datasetCol, rateCol = p.Scenario, "-", "-"
+	}
 	tab := &metrics.Table{Header: GridHeader}
-	tab.AddRow(p.Model, p.Dataset, p.Rate, p.Engine,
+	tab.AddRow(p.Model, scenarioCol, datasetCol, rateCol, p.Engine,
 		len(reqs), res.Completed, res.Throughput(),
+		res.Recorder.Goodput(slo, res.Horizon),
+		100*res.Recorder.Attainment(slo),
 		res.Recorder.NormLatencySummary().Mean,
 		res.Recorder.TTFTSummary().P95,
 		res.Recorder.TPOTSummary().P95)
@@ -146,6 +195,9 @@ func RunPoint(s GridSpec, p Point, c *Cache) (*metrics.Table, error) {
 // lists them, engines innermost — independent of completion order, so the
 // output is byte-identical for any Options.Jobs value.
 func RunGrid(s GridSpec, opts Options) (*metrics.Table, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
 	s = s.withDefaults()
 	pts := s.Points()
 	jobs := make([]Job, len(pts))
@@ -176,8 +228,8 @@ func RunGrid(s GridSpec, opts Options) (*metrics.Table, error) {
 }
 
 // ParseDims folds "key=v1,v2,..." grid dimension specs into a GridSpec.
-// Recognized keys: engine(s), dataset(s), rate(s), model(s), duration,
-// seed. Later specs for the same key replace earlier ones.
+// Recognized keys: engine(s), dataset(s), rate(s), model(s), scenario(s),
+// duration, seed. Later specs for the same key replace earlier ones.
 func ParseDims(spec GridSpec, dims []string) (GridSpec, error) {
 	for _, dim := range dims {
 		key, vals, ok := strings.Cut(dim, "=")
@@ -195,6 +247,13 @@ func ParseDims(spec GridSpec, dims []string) (GridSpec, error) {
 			spec.Engines = parts
 		case "dataset":
 			spec.Datasets = parts
+		case "scenario":
+			for _, sc := range parts {
+				if _, err := scenario.ByName(sc); err != nil {
+					return spec, err
+				}
+			}
+			spec.Scenarios = parts
 		case "model":
 			spec.Models = parts
 		case "rate":

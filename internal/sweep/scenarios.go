@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"fmt"
+
+	"hetis/internal/engine"
+	"hetis/internal/metrics"
+	"hetis/internal/scenario"
+	"hetis/internal/workload"
+)
+
+// RunScenarios serves the named scenarios on the pool, one job per
+// (scenario, engine) pair, and merges their rows in catalog order —
+// scenarios as given (or sorted, for "all"), engines in each spec's order
+// — independent of completion order, so the output is byte-identical for
+// any Options.Jobs value. quick quarters trace durations; seed offsets
+// every scenario's built-in seed.
+func RunScenarios(names []string, quick bool, seed int64, opts Options) (*metrics.Table, error) {
+	if len(names) == 1 && names[0] == "all" {
+		names = scenario.Names()
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("sweep: no scenarios named")
+	}
+	type pair struct {
+		spec scenario.Spec
+		eng  string
+	}
+	var pairs []pair
+	for _, name := range names {
+		spec, err := scenario.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		spec = scenario.Prepare(spec, quick)
+		spec.Seed += seed
+		for _, eng := range spec.Engines {
+			pairs = append(pairs, pair{spec: spec, eng: eng})
+		}
+	}
+	jobs := make([]Job, len(pairs))
+	for i, p := range pairs {
+		jobs[i] = Job{Key: p.spec.Name + "/" + p.eng, Run: func(c *Cache) (*metrics.Table, error) {
+			return scenario.RunEngine(p.spec, p.eng, scenario.Options{Build: scenarioBuilder(c, p.spec)})
+		}}
+	}
+	results, err := RunMany(jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Reassemble in pair order (RunMany sorted by key); duplicates work
+	// out because both the sort and the pair walk are stable.
+	byKey := map[string][]*metrics.Table{}
+	for _, r := range results {
+		byKey[r.Key] = append(byKey[r.Key], r.Table)
+	}
+	tab := &metrics.Table{Header: scenario.Header}
+	for _, p := range pairs {
+		k := p.spec.Name + "/" + p.eng
+		tab.Rows = append(tab.Rows, byKey[k][0].Rows...)
+		byKey[k] = byKey[k][1:]
+	}
+	return tab, nil
+}
+
+// scenarioBuilder routes engine construction through the cache so every
+// engine serving the same scenario shares its trace, Hetis plan, and
+// profile fit.
+func scenarioBuilder(c *Cache, spec scenario.Spec) scenario.EngineBuilder {
+	k := TraceKey{Scenario: spec.Name, Duration: spec.Duration, Seed: spec.Seed}
+	return func(name string, cfg engine.Config, reqs []workload.Request) (engine.Engine, error) {
+		return c.BuildEngine(name, cfg, k)
+	}
+}

@@ -206,3 +206,103 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestCacheScenarioTrace(t *testing.T) {
+	c := NewCache()
+	k := TraceKey{Scenario: "multitenant", Duration: 10, Seed: 3}
+	reqs, err := c.Trace(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("empty scenario trace")
+	}
+	tenants := map[string]bool{}
+	for _, r := range reqs {
+		tenants[r.Tenant] = true
+	}
+	if !tenants["chat"] || !tenants["code"] {
+		t.Errorf("scenario trace lost its tenants: %v", tenants)
+	}
+	again, _ := c.Trace(k)
+	if &reqs[0] != &again[0] {
+		t.Error("scenario trace not memoized")
+	}
+	if _, err := c.Trace(TraceKey{Scenario: "no-such", Duration: 10, Seed: 1}); err == nil {
+		t.Error("unknown scenario key should error")
+	}
+}
+
+func TestGridScenarioDimension(t *testing.T) {
+	spec := GridSpec{
+		Engines:   []string{"splitwise", "hexgen"},
+		Scenarios: []string{"bursty", "steady"},
+		Duration:  5,
+	}
+	tab, err := RunGrid(spec, Options{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4:\n%s", len(tab.Rows), tab)
+	}
+	// Rows follow grid order: scenarios as listed, engines innermost; the
+	// scenario column is set and dataset/rate are placeholders.
+	wantScen := []string{"bursty", "bursty", "steady", "steady"}
+	wantEng := []string{"splitwise", "hexgen", "splitwise", "hexgen"}
+	for i, row := range tab.Rows {
+		if row[1] != wantScen[i] || row[4] != wantEng[i] {
+			t.Errorf("row %d = (%s, %s), want (%s, %s)", i, row[1], row[4], wantScen[i], wantEng[i])
+		}
+		if row[2] != "-" || row[3] != "-" {
+			t.Errorf("row %d dataset/rate = (%s, %s), want placeholders", i, row[2], row[3])
+		}
+	}
+}
+
+func TestGridScenarioExcludesDatasetAndRate(t *testing.T) {
+	_, err := RunGrid(GridSpec{Scenarios: []string{"steady"}, Datasets: []string{"SG"}}, Options{})
+	if err == nil {
+		t.Error("scenario+dataset grid should error")
+	}
+	_, err = RunGrid(GridSpec{Scenarios: []string{"steady"}, Rates: []float64{2}}, Options{})
+	if err == nil {
+		t.Error("scenario+rate grid should error")
+	}
+}
+
+func TestParseDimsScenario(t *testing.T) {
+	spec, err := ParseDims(GridSpec{}, []string{"scenario=bursty,steady"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Scenarios) != 2 || spec.Scenarios[0] != "bursty" {
+		t.Errorf("Scenarios = %v", spec.Scenarios)
+	}
+	if _, err := ParseDims(GridSpec{}, []string{"scenario=warp"}); err == nil {
+		t.Error("unknown scenario should error at parse time")
+	}
+}
+
+func TestRunScenariosByteIdenticalAcrossJobs(t *testing.T) {
+	var rendered []string
+	for _, jobs := range []int{1, 8} {
+		tab, err := RunScenarios([]string{"all"}, true, 0, Options{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		rendered = append(rendered, tab.String())
+	}
+	if rendered[0] != rendered[1] {
+		t.Errorf("scenario catalog differs between jobs=1 and jobs=8:\n--- jobs=1\n%s--- jobs=8\n%s", rendered[0], rendered[1])
+	}
+}
+
+func TestRunScenariosUnknown(t *testing.T) {
+	if _, err := RunScenarios([]string{"no-such"}, true, 0, Options{}); err == nil {
+		t.Error("unknown scenario should fail fast")
+	}
+	if _, err := RunScenarios(nil, true, 0, Options{}); err == nil {
+		t.Error("empty scenario list should error")
+	}
+}

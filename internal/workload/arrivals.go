@@ -1,0 +1,254 @@
+// Arrival processes beyond steady Poisson: bursty (MMPP), diurnal,
+// flash-crowd, and closed-loop traffic, plus multi-tenant workload mixing.
+// Each process generates sorted arrival times; Assemble turns times into
+// Requests by sampling a weighted tenant mix. Everything is seeded and
+// deterministic: the same (parameters, seed) always yield the same trace.
+
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PoissonTimes generates homogeneous Poisson arrival times at `rate`
+// requests/second over [0, duration).
+func PoissonTimes(rate, duration float64, rng *rand.Rand) []float64 {
+	if rate <= 0 || duration <= 0 {
+		return nil
+	}
+	var times []float64
+	t := rng.ExpFloat64() / rate
+	for t < duration {
+		times = append(times, t)
+		t += rng.ExpFloat64() / rate
+	}
+	return times
+}
+
+// MMPPState is one phase of a cyclic Markov-modulated Poisson process:
+// arrivals come at Rate while the process dwells in the state for an
+// exponentially distributed time with mean MeanDwell seconds.
+type MMPPState struct {
+	Rate      float64 // requests/second while in this state
+	MeanDwell float64 // mean sojourn time, seconds
+}
+
+// MMPPTimes generates arrival times of a cyclic MMPP over [0, duration):
+// the process cycles through the states in order, staying Exp(MeanDwell)
+// in each. With two states (high/low rate) this is the classic
+// interrupted-Poisson bursty source.
+func MMPPTimes(states []MMPPState, duration float64, rng *rand.Rand) []float64 {
+	if len(states) == 0 || duration <= 0 {
+		return nil
+	}
+	// Zero-dwell states are skipped, so at least one must be inhabitable
+	// or the cycle would never advance time.
+	inhabitable := false
+	for _, st := range states {
+		if st.MeanDwell > 0 {
+			inhabitable = true
+		}
+	}
+	if !inhabitable {
+		return nil
+	}
+	var times []float64
+	now := 0.0
+	for i := 0; now < duration; i = (i + 1) % len(states) {
+		st := states[i]
+		dwell := st.MeanDwell
+		if dwell <= 0 {
+			continue
+		}
+		end := now + rng.ExpFloat64()*dwell
+		if end > duration {
+			end = duration
+		}
+		if st.Rate > 0 {
+			t := now + rng.ExpFloat64()/st.Rate
+			for t < end {
+				times = append(times, t)
+				t += rng.ExpFloat64() / st.Rate
+			}
+		}
+		now = end
+	}
+	return times
+}
+
+// DiurnalTimes generates an inhomogeneous Poisson process with sinusoidal
+// rate λ(t) = base·(1 + amplitude·sin(2πt/period)) via thinning.
+// amplitude is clamped to [0, 1] so the rate never goes negative; period
+// is the full day-night cycle in simulated seconds.
+func DiurnalTimes(base, amplitude, period, duration float64, rng *rand.Rand) []float64 {
+	if base <= 0 || period <= 0 || duration <= 0 {
+		return nil
+	}
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	if amplitude > 1 {
+		amplitude = 1
+	}
+	rate := func(t float64) float64 {
+		return base * (1 + amplitude*math.Sin(2*math.Pi*t/period))
+	}
+	return thinned(rate, base*(1+amplitude), duration, rng)
+}
+
+// FlashCrowdTimes generates Poisson arrivals at base req/s with a sudden
+// spike: during [spikeAt, spikeAt+spikeDur) the rate jumps to base·factor
+// (a breaking-news or retry-storm surge), then returns to base.
+func FlashCrowdTimes(base, spikeAt, spikeDur, factor, duration float64, rng *rand.Rand) []float64 {
+	if base <= 0 || duration <= 0 {
+		return nil
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	rate := func(t float64) float64 {
+		if t >= spikeAt && t < spikeAt+spikeDur {
+			return base * factor
+		}
+		return base
+	}
+	return thinned(rate, base*math.Max(1, factor), duration, rng)
+}
+
+// thinned samples an inhomogeneous Poisson process with instantaneous rate
+// rate(t) ≤ maxRate by Lewis-Shedler thinning.
+func thinned(rate func(float64) float64, maxRate, duration float64, rng *rand.Rand) []float64 {
+	if maxRate <= 0 {
+		return nil
+	}
+	var times []float64
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / maxRate
+		if t >= duration {
+			return times
+		}
+		if rng.Float64()*maxRate <= rate(t) {
+			times = append(times, t)
+		}
+	}
+}
+
+// ClosedLoopTimes models a closed-loop population: `users` concurrent
+// sessions, each issuing its next request an Exp(think)-distributed pause
+// after the previous one (the request-response-think cycle of a replayed
+// session log, with service time folded into the think time). The merged
+// stream is sorted ascending.
+func ClosedLoopTimes(users int, think, duration float64, rng *rand.Rand) []float64 {
+	if users <= 0 || think <= 0 || duration <= 0 {
+		return nil
+	}
+	var times []float64
+	for u := 0; u < users; u++ {
+		t := rng.ExpFloat64() * think
+		for t < duration {
+			times = append(times, t)
+			t += rng.ExpFloat64() * think
+		}
+	}
+	sort.Float64s(times)
+	return times
+}
+
+// MixEntry is one tenant of a multi-tenant workload mix: a share of the
+// arrival stream drawing lengths from the tenant's dataset.
+type MixEntry struct {
+	Tenant  string
+	Dataset LengthDist
+	Weight  float64 // relative share of arrivals; entries with Weight <= 0 are ignored
+}
+
+// Assemble turns sorted arrival times into a trace by sampling the weighted
+// tenant mix independently per arrival: tenant first, then (prompt, output)
+// from that tenant's dataset. An empty (or fully zero-weight) mix defaults
+// to single-tenant ShareGPT. IDs are assigned in arrival order.
+func Assemble(times []float64, mix []MixEntry, seed int64) []Request {
+	return assemble(times, mix, rand.New(rand.NewSource(seed)))
+}
+
+func assemble(times []float64, mix []MixEntry, rng *rand.Rand) []Request {
+	var total float64
+	for _, e := range mix {
+		if e.Weight > 0 {
+			total += e.Weight
+		}
+	}
+	if total == 0 {
+		mix = []MixEntry{{Dataset: ShareGPT, Weight: 1}}
+		total = 1
+	}
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	reqs := make([]Request, 0, len(sorted))
+	for i, t := range sorted {
+		pick := rng.Float64() * total
+		var e MixEntry
+		for _, cand := range mix {
+			if cand.Weight <= 0 {
+				continue
+			}
+			e = cand
+			if pick < cand.Weight {
+				break
+			}
+			pick -= cand.Weight
+		}
+		p, o := e.Dataset.Sample(rng)
+		reqs = append(reqs, Request{
+			ID: int64(i), ArrivalAt: t, PromptLen: p, OutputLen: o, Tenant: e.Tenant,
+		})
+	}
+	return reqs
+}
+
+// MMPP generates a single-tenant bursty trace: a cyclic MMPP through the
+// states with lengths from dist.
+func MMPP(dist LengthDist, states []MMPPState, duration float64, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	return assemble(MMPPTimes(states, duration, rng), []MixEntry{{Dataset: dist, Weight: 1}}, rng)
+}
+
+// Diurnal generates a single-tenant trace with sinusoidal arrival rate.
+func Diurnal(dist LengthDist, base, amplitude, period, duration float64, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	return assemble(DiurnalTimes(base, amplitude, period, duration, rng), []MixEntry{{Dataset: dist, Weight: 1}}, rng)
+}
+
+// FlashCrowd generates a single-tenant trace with a rate spike.
+func FlashCrowd(dist LengthDist, base, spikeAt, spikeDur, factor, duration float64, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	return assemble(FlashCrowdTimes(base, spikeAt, spikeDur, factor, duration, rng), []MixEntry{{Dataset: dist, Weight: 1}}, rng)
+}
+
+// ClosedLoop generates a single-tenant closed-loop trace.
+func ClosedLoop(dist LengthDist, users int, think, duration float64, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	return assemble(ClosedLoopTimes(users, think, duration, rng), []MixEntry{{Dataset: dist, Weight: 1}}, rng)
+}
+
+// ValidateMix reports whether the mix is usable: at least one positive-weight
+// entry, every positive-weight entry with a named, non-empty dataset.
+func ValidateMix(mix []MixEntry) error {
+	any := false
+	for i, e := range mix {
+		if e.Weight <= 0 {
+			continue
+		}
+		any = true
+		if e.Dataset.Name == "" {
+			return fmt.Errorf("workload: mix entry %d (%q) has no dataset", i, e.Tenant)
+		}
+	}
+	if len(mix) > 0 && !any {
+		return fmt.Errorf("workload: mix has no positive-weight entry")
+	}
+	return nil
+}

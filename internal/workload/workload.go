@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 )
 
 // Request is one inference request in a trace.
@@ -26,6 +27,11 @@ type Request struct {
 	ArrivalAt float64 // seconds since trace start
 	PromptLen int     // tokens in the prompt
 	OutputLen int     // tokens to generate (decode steps)
+	// Tenant names the traffic class the request belongs to in a
+	// multi-tenant mix (empty for single-tenant traces). Engines carry it
+	// through to the metrics records so SLO attainment can be broken down
+	// per tenant.
+	Tenant string
 }
 
 // TotalLen is the request's final context length.
@@ -98,7 +104,7 @@ var (
 // ByName resolves a dataset preset.
 func ByName(name string) (LengthDist, error) {
 	for _, d := range []LengthDist{ShareGPT, HumanEval, LongBench} {
-		if equalFold(d.Name, name) {
+		if strings.EqualFold(d.Name, name) {
 			return d, nil
 		}
 	}
@@ -111,25 +117,6 @@ func ByName(name string) (LengthDist, error) {
 		return LongBench, nil
 	}
 	return LengthDist{}, fmt.Errorf("workload: unknown dataset %q", name)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
 }
 
 // Poisson generates a trace with exponential inter-arrival times at `rate`

@@ -228,3 +228,26 @@ func TestTruncate(t *testing.T) {
 		}
 	}
 }
+
+func TestByNameCaseInsensitive(t *testing.T) {
+	// ByName folds case via strings.EqualFold: every casing of a preset
+	// name resolves to the same dataset.
+	cases := map[string]string{
+		"sharegpt": "ShareGPT", "SHAREGPT": "ShareGPT", "ShArEgPt": "ShareGPT",
+		"humaneval": "HumanEval", "HUMANEVAL": "HumanEval",
+		"longbench": "LongBench", "LoNgBeNcH": "LongBench",
+	}
+	for in, want := range cases {
+		d, err := ByName(in)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", in, err)
+			continue
+		}
+		if d.Name != want {
+			t.Errorf("ByName(%q) = %s, want %s", in, d.Name, want)
+		}
+	}
+	if _, err := ByName("sharegpt2"); err == nil {
+		t.Error("near-miss name should not resolve")
+	}
+}

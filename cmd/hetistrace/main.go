@@ -88,7 +88,16 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if err := res.Trace.WriteJSONL(w); err != nil {
 		return err
 	}
+	// Result.Horizon is the measurement window (the -duration*30 cutoff,
+	// shared by every engine for fair rate denominators); the serving time
+	// users care about here is when the last request actually finished.
+	served := 0.0
+	for _, r := range res.Recorder.Records() {
+		if r.FinishedAt > served {
+			served = r.FinishedAt
+		}
+	}
 	fmt.Fprintf(stderr, "hetistrace: %s served %d/%d requests over %.1fs; %d events written\n",
-		eng.Name(), res.Completed, len(reqs), res.Horizon, res.Trace.Len())
+		eng.Name(), res.Completed, len(reqs), served, res.Trace.Len())
 	return nil
 }

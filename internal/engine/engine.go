@@ -52,6 +52,13 @@ type Config struct {
 	// the batch under overload (vLLM's watermark, made explicit).
 	AdmitWatermark float64
 
+	// MaxEventsPerRequest scales the simulator's runaway guard to the
+	// trace: a run aborts after len(reqs)×MaxEventsPerRequest events (but
+	// never fewer than minEventBudget, so tiny traces keep slack for
+	// sampling timers and rebalance checks). 0 takes
+	// DefaultMaxEventsPerRequest. See Config.MaxSimEvents.
+	MaxEventsPerRequest int
+
 	// MemHeadroom is the memory fraction reserved for activations.
 	MemHeadroom float64
 	// SampleEvery is the trace-sampling period in seconds (0 disables).
@@ -76,6 +83,33 @@ func DefaultConfig(cfg model.Config, cluster *hardware.Cluster) Config {
 		MemHeadroom:        0.08,
 		SampleEvery:        1.0,
 	}
+}
+
+// DefaultMaxEventsPerRequest is the per-request event budget of the
+// simulator's runaway guard. A request's worst case — solo decode of a
+// full context window plus repeated eviction/re-prefill cycles — stays
+// well under it, while a genuine scheduling livelock (events that never
+// advance a request) still trips the guard quickly.
+const DefaultMaxEventsPerRequest = 65536
+
+// minEventBudget floors the runaway guard so tiny traces keep slack for
+// per-second sampling timers and rebalance cadence events.
+const minEventBudget = 1_000_000
+
+// MaxSimEvents is the runaway-guard event budget for a trace of n
+// requests: n×MaxEventsPerRequest, floored at minEventBudget. Scaling with
+// the trace keeps the guard meaningful for small runs without tripping on
+// million-request traces (the old fixed 20M literal did).
+func (c Config) MaxSimEvents(n int) uint64 {
+	per := c.MaxEventsPerRequest
+	if per <= 0 {
+		per = DefaultMaxEventsPerRequest
+	}
+	budget := uint64(per) * uint64(n)
+	if budget < minEventBudget {
+		budget = minEventBudget
+	}
+	return budget
 }
 
 // Validate reports config errors.

@@ -251,7 +251,7 @@ func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	}
 
 	s := sim.New()
-	s.MaxEvents = 20_000_000
+	s.MaxEvents = h.cfg.MaxSimEvents(len(reqs))
 	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
 		loads := make([]int, len(instances))
 		for i, in := range instances {

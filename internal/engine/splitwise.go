@@ -87,7 +87,7 @@ func (sw *Splitwise) Run(reqs []workload.Request, horizon float64) (*Result, err
 	sw.decode.usedTokens = 0
 	rt := &splitwiseRuntime{sw: sw, res: res, seq: map[int64]int64{}}
 	s := sim.New()
-	s.MaxEvents = 20_000_000
+	s.MaxEvents = sw.cfg.MaxSimEvents(len(reqs))
 	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
 		rt.prefillQ.push(r)
 		rt.seq[r.wl.ID] = rt.nextSeq

@@ -75,7 +75,7 @@ func (v *VLLM) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 		seq:  map[int64]int64{},
 	}
 	s := sim.New()
-	s.MaxEvents = 20_000_000
+	s.MaxEvents = v.cfg.MaxSimEvents(len(reqs))
 	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
 		rt.waiting.push(r)
 		rt.seq[r.wl.ID] = rt.nextSeq

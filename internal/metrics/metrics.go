@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -118,11 +119,13 @@ func SummarizeValues(vals []float64) Summary {
 }
 
 // Percentile interpolates the p-quantile (p in [0,1]) of an ascending
-// slice using the nearest-rank-with-interpolation convention.
+// slice using the nearest-rank-with-interpolation convention. An empty
+// input has no quantiles; Percentile returns 0 for it (not NaN), so
+// downstream tables render an honest zero instead of "NaN" cells.
 func Percentile(sorted []float64, p float64) float64 {
 	n := len(sorted)
 	if n == 0 {
-		return math.NaN()
+		return 0
 	}
 	if n == 1 {
 		return sorted[0]
@@ -183,22 +186,27 @@ func (s *Series) At(t float64) float64 {
 	return s.Values[idx-1]
 }
 
-// Table renders experiment output as an aligned text table.
+// Table renders experiment output as an aligned text table. Rows store
+// float cells at full round-trip precision (strconv 'g' with precision -1),
+// which is what CSV emits; String prettifies them back to 4 significant
+// digits for human reading. Storing full precision is deliberate: golden
+// files diff the CSV, and a lossy %.4g cell would let small metric drift
+// hide inside an unchanged rendering.
 type Table struct {
 	Header []string
 	Rows   [][]string
 }
 
-// AddRow appends a formatted row; values are rendered with %v, floats with
-// 4 significant digits.
+// AddRow appends a formatted row; values are rendered with %v, floats at
+// full round-trip precision.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = formatFloat(v)
+			row[i] = strconv.FormatFloat(v, 'g', -1, 64)
 		case float32:
-			row[i] = formatFloat(float64(v))
+			row[i] = strconv.FormatFloat(float64(v), 'g', -1, 32)
 		default:
 			row[i] = fmt.Sprintf("%v", c)
 		}
@@ -213,6 +221,22 @@ func formatFloat(v float64) string {
 	return fmt.Sprintf("%.4g", v)
 }
 
+// prettyCell rounds stored full-precision float cells to 4 significant
+// digits for the aligned rendering. Only cells that carry a float marker
+// ('.', exponent, NaN/Inf) are touched: integers and plain strings pass
+// through verbatim, so "200" (a count) stays "200" while
+// "0.27749999999999997" becomes "0.2775".
+func prettyCell(cell string) string {
+	if !strings.ContainsAny(cell, ".eE") && !strings.ContainsAny(cell, "NI") {
+		return cell
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return cell
+	}
+	return formatFloat(v)
+}
+
 // CSV renders the table as RFC 4180 comma-separated values with a header
 // line.
 func (t *Table) CSV() string {
@@ -224,13 +248,21 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns, float cells rounded to 4
+// significant digits (CSV keeps full precision).
 func (t *Table) String() string {
+	pretty := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		pretty[r] = make([]string, len(row))
+		for i, cell := range row {
+			pretty[r][i] = prettyCell(cell)
+		}
+	}
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
-	for _, row := range t.Rows {
+	for _, row := range pretty {
 		for i, cell := range row {
 			if i < len(widths) && len(cell) > widths[i] {
 				widths[i] = len(cell)
@@ -256,7 +288,7 @@ func (t *Table) String() string {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	writeRow(sep)
-	for _, row := range t.Rows {
+	for _, row := range pretty {
 		writeRow(row)
 	}
 	return b.String()

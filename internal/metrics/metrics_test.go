@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -46,8 +47,36 @@ func TestPercentile(t *testing.T) {
 	if got := Percentile([]float64{7}, 0.95); got != 7 {
 		t.Errorf("single-element P95=%g want 7", got)
 	}
-	if got := Percentile(nil, 0.5); !math.IsNaN(got) {
-		t.Errorf("empty percentile should be NaN, got %g", got)
+}
+
+// TestPercentileEdgeCases pins the documented conventions at the input
+// boundaries; the empty case in particular must yield 0, not NaN, so CSV
+// cells downstream never render as "NaN".
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"empty-nil", nil, 0.5, 0},
+		{"empty-slice", []float64{}, 0.95, 0},
+		{"empty-p0", nil, 0, 0},
+		{"empty-p1", nil, 1, 0},
+		{"single", []float64{3.5}, 0.5, 3.5},
+		{"single-p0", []float64{3.5}, 0, 3.5},
+		{"single-p1", []float64{3.5}, 1, 3.5},
+		{"p0-is-min", []float64{1, 2, 3}, 0, 1},
+		{"p1-is-max", []float64{1, 2, 3}, 1, 3},
+		{"p-below-0-clamps", []float64{1, 2, 3}, -0.5, 1},
+		{"p-above-1-clamps", []float64{1, 2, 3}, 1.5, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.sorted, tc.p); got != tc.want {
+				t.Errorf("Percentile(%v, %g)=%g want %g", tc.sorted, tc.p, got, tc.want)
+			}
+		})
 	}
 }
 
@@ -152,6 +181,44 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 5 { // header + separator + 3 rows
 		t.Errorf("table has %d lines want 5:\n%s", len(lines), out)
+	}
+}
+
+// TestTableCSVFullPrecision asserts CSV cells round-trip float64 exactly:
+// a value that %.4g would flatten must come back bit-identical from the
+// CSV rendering, so golden diffs can't hide small metric drift.
+func TestTableCSVFullPrecision(t *testing.T) {
+	v := 0.2774999999999999 // %.4g renders 0.2775; round-trip must not
+	tab := Table{Header: []string{"v"}}
+	tab.AddRow(v)
+	out := tab.CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines want 2:\n%s", len(lines), out)
+	}
+	back, err := strconv.ParseFloat(lines[1], 64)
+	if err != nil {
+		t.Fatalf("CSV cell %q does not parse: %v", lines[1], err)
+	}
+	if back != v {
+		t.Errorf("CSV cell %q round-trips to %v, want %v", lines[1], back, v)
+	}
+	// The aligned rendering stays human-readable at 4 significant digits.
+	if s := tab.String(); !strings.Contains(s, "0.2775") || strings.Contains(s, lines[1]) {
+		t.Errorf("String() should round to 4 significant digits:\n%s", s)
+	}
+}
+
+// TestTableStringLeavesNonFloatCellsAlone guards prettyCell against
+// mangling integer counts and names that merely look numeric-ish.
+func TestTableStringLeavesNonFloatCellsAlone(t *testing.T) {
+	tab := Table{Header: []string{"name", "count", "bytes"}}
+	tab.AddRow("hetis", 200, int64(2_000_000_000))
+	out := tab.String()
+	for _, want := range []string{"hetis", "200", "2000000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() mangled %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -125,6 +125,13 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // Run executes events in time order until the queue drains, Stop is called,
 // or the optional horizon (seconds; <=0 means unbounded) is passed. Events
 // scheduled exactly at the horizon still run.
+//
+// With a positive horizon, Run always leaves the clock at the horizon when
+// it returns without pending work: draining the queue early advances Now to
+// the horizon instead of freezing it at the last event. Rates measured over
+// the run (throughput, goodput) therefore divide by the window the caller
+// asked for, so two systems serving the same trace share a denominator even
+// when one finishes sooner.
 func (s *Simulator) Run(horizon float64) error {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
@@ -142,6 +149,9 @@ func (s *Simulator) Run(horizon float64) error {
 			return fmt.Errorf("sim: exceeded MaxEvents=%d (runaway simulation?)", s.MaxEvents)
 		}
 		ev.Fn(s)
+	}
+	if horizon > 0 && !s.stopped && len(s.queue) == 0 && s.now < horizon {
+		s.now = horizon
 	}
 	return nil
 }

@@ -131,6 +131,43 @@ func TestHorizon(t *testing.T) {
 	}
 }
 
+// TestHorizonDrainAdvancesClock pins the horizon-denominator fix: a run
+// whose queue drains before a positive horizon still ends with Now at the
+// horizon, so rates measured over the run divide by the requested window,
+// not by the last event time.
+func TestHorizonDrainAdvancesClock(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(1, "only", func(s *Simulator) { fired++ })
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired=%d want 1", fired)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now=%g want horizon 10 after early drain", s.Now())
+	}
+	// Unbounded runs keep the last-event clock: there is no window to
+	// advance to.
+	s2 := New()
+	s2.Schedule(1, "only", func(s *Simulator) {})
+	s2.RunUntilIdle()
+	if s2.Now() != 1 {
+		t.Fatalf("unbounded Now=%g want 1", s2.Now())
+	}
+	// Stop leaves the clock where it stopped: pending work resumes later.
+	s3 := New()
+	s3.Schedule(1, "stop", func(s *Simulator) { s.Stop() })
+	s3.Schedule(2, "later", func(s *Simulator) {})
+	if err := s3.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if s3.Now() != 1 {
+		t.Fatalf("stopped Now=%g want 1 (pending work remains)", s3.Now())
+	}
+}
+
 func TestStop(t *testing.T) {
 	s := New()
 	count := 0

@@ -10,6 +10,9 @@
 //	hetisbench -grid scenario=bursty,diurnal  # scenarios as a grid dimension
 //	hetisbench -scenario all -jobs 8          # the scenario catalog, pooled
 //	hetisbench -scenario bursty,multitenant -csv
+//	hetisbench -bench                         # perf trajectory -> BENCH.json
+//	hetisbench -bench -quick -repeat 3        # CI smoke: reduced scale, best-of-3
+//	hetisbench -bench -bench-baseline old.json -bench-out BENCH.json
 //	hetisbench -list                          # show experiment ids and scenarios
 //
 // Grid dimensions are key=v1,v2,... pairs: engine, dataset, rate, model,
@@ -79,6 +82,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := fs.Int64("seed", 0, "trace seed offset (experiments, scenarios) or base seed (grid)")
 	list := fs.Bool("list", false, "list experiment ids and scenarios, then exit")
+	benchMode := fs.Bool("bench", false, "run the perf-trajectory harness (-scenario narrows the suite)")
+	benchOut := fs.String("bench-out", "BENCH.json", "perf report path for -bench")
+	benchBase := fs.String("bench-baseline", "", "existing BENCH.json whose suite becomes the -bench baseline")
+	repeat := fs.Int("repeat", 1, "repetitions per -bench measurement (best wall-clock kept)")
+	benchMicro := fs.Bool("bench-micro", true, "include micro-benchmarks in -bench (adds a few seconds)")
 
 	// Parse in rounds so flags and bare key=value grid dimensions can
 	// interleave: the flag package stops at the first non-flag argument,
@@ -121,19 +129,30 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	// -bench is its own mode; -scenario composes with it to narrow the
+	// suite instead of selecting the pooled scenario-table mode.
 	modes := 0
-	for _, on := range []bool{*exp != "", len(gridDims) > 0, *scen != ""} {
+	for _, on := range []bool{*exp != "", len(gridDims) > 0, *scen != "" && !*benchMode, *benchMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		return usageError("need exactly one of -exp, -grid or -scenario (see -h; -list shows ids)")
+		return usageError("need exactly one of -exp, -grid, -scenario or -bench (see -h; -list shows ids)")
 	}
 
 	start := time.Now()
 	pool := hetis.SweepOptions{Jobs: *jobs, Cache: hetis.NewSweepCache()}
 	switch {
+	case *benchMode:
+		// The harness runs sequentially (stable wall-clock) with the
+		// scenarios' own seeds; these knobs would be silently ignored.
+		if *seed != 0 || *csv || *jobs != 0 {
+			return usageError("-seed, -csv and -jobs do not apply to -bench")
+		}
+		if err := runPerfBench(stdout, stderr, *scen, *quick, *repeat, *benchOut, *benchBase, *benchMicro); err != nil {
+			return err
+		}
 	case len(gridDims) > 0:
 		spec := hetis.GridSpec{Quick: *quick, Seed: *seed}
 		spec, err := hetis.ParseGridDims(spec, gridDims)
@@ -171,6 +190,59 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		}
 	}
 	fmt.Fprintf(stderr, "hetisbench: done in %.2fs (jobs=%d)\n", time.Since(start).Seconds(), *jobs)
+	return nil
+}
+
+// runPerfBench executes the perf-trajectory harness and writes BENCH.json. A
+// summary table goes to stdout so humans see the numbers the file records.
+func runPerfBench(stdout, stderr io.Writer, scen string, quick bool, repeat int, outPath, basePath string, micro bool) error {
+	opts := hetis.BenchOptions{Quick: quick, Repeat: repeat, SkipMicro: !micro}
+	if scen != "" && scen != "all" {
+		opts.Scenarios = strings.Split(scen, ",")
+	}
+	rep, err := hetis.RunBench(opts)
+	if err != nil {
+		return err
+	}
+	if basePath != "" {
+		base, err := hetis.ReadBenchReport(basePath)
+		if err != nil {
+			return err
+		}
+		if base.Quick != rep.Quick {
+			return fmt.Errorf("baseline %s was measured with quick=%v, this run is quick=%v (not comparable)",
+				basePath, base.Quick, rep.Quick)
+		}
+		if !hetis.BenchSamePairs(&base.Suite, &rep.Suite) {
+			return fmt.Errorf("baseline %s measured a different (scenario, engine) set than this run (not comparable; match the -scenario selection)",
+				basePath)
+		}
+		rep.WithBaseline(&base.Suite)
+	}
+	if err := hetis.WriteBenchReport(outPath, rep); err != nil {
+		return err
+	}
+
+	tab := &hetis.Table{Header: []string{
+		"Scenario", "Engine", "Wall(s)", "Events", "Events/s", "LPSolves", "LPAvoided", "Allocs/ev",
+	}}
+	for _, sb := range rep.Suite.Scenarios {
+		tab.AddRow(sb.Scenario, sb.Engine, sb.WallSeconds, sb.Events, sb.EventsPerSec,
+			sb.LPSolves, sb.LPSolvesAvoided, sb.AllocsPerEvent)
+	}
+	fmt.Fprint(stdout, tab)
+	fmt.Fprintf(stdout, "suite: %.3fs wall, %d events (%.0f events/s), %d LP solves (%d avoided)\n",
+		rep.Suite.WallSeconds, rep.Suite.Events, rep.Suite.EventsPerSec,
+		rep.Suite.LPSolves, rep.Suite.LPSolvesAvoided)
+	for _, mb := range rep.Micro {
+		fmt.Fprintf(stdout, "micro: %-28s %12.0f ns/op  %6d B/op  %4d allocs/op\n",
+			mb.Name, mb.NsPerOp, mb.BytesPerOp, mb.AllocsPerOp)
+	}
+	if rep.Baseline != nil {
+		fmt.Fprintf(stdout, "speedup vs baseline: %.2fx (%.3fs -> %.3fs)\n",
+			rep.SpeedupVsBaseline, rep.Baseline.WallSeconds, rep.Suite.WallSeconds)
+	}
+	fmt.Fprintf(stderr, "hetisbench: wrote %s\n", outPath)
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -85,5 +87,44 @@ func TestScenarioOutputJobsIndependent(t *testing.T) {
 	}
 	if one != eight {
 		t.Errorf("-scenario all differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s--- jobs=8\n%s", one, eight)
+	}
+}
+
+// TestBenchModeWritesReport smokes the perf-trajectory mode: one quick
+// scenario, report written where asked, summary on stdout.
+func TestBenchModeWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	stdout, err := runBench(t, "-bench", "-scenario", "steady", "-quick", "-bench-micro=false", "-bench-out", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "suite:") || !strings.Contains(stdout, "steady") {
+		t.Errorf("bench summary missing suite line:\n%s", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema": "hetis-bench/1"`) {
+		t.Errorf("report missing schema:\n%s", data)
+	}
+
+	// A second run using the first as baseline reports a speedup factor.
+	out2 := filepath.Join(t.TempDir(), "BENCH2.json")
+	stdout2, err := runBench(t, "-bench", "-scenario", "steady", "-quick", "-bench-micro=false",
+		"-bench-baseline", out, "-bench-out", out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout2, "speedup vs baseline:") {
+		t.Errorf("baseline run missing speedup line:\n%s", stdout2)
+	}
+}
+
+// TestBenchModeComposesWithScenarioOnly ensures -bench plus -scenario is a
+// single mode, while -bench plus -exp still violates exclusivity.
+func TestBenchModeComposesWithScenarioOnly(t *testing.T) {
+	if _, err := runBench(t, "-bench", "-exp", "fig8"); !errors.Is(err, errUsage) {
+		t.Errorf("-bench -exp err = %v, want errUsage", err)
 	}
 }

@@ -1,0 +1,149 @@
+// Package bench is the simulator's perf-trajectory harness: it times the
+// canonical scenario suite (every registered scenario × every engine the
+// scenario names) plus a set of micro-benchmarks, and emits a schema'd
+// BENCH.json so wall-clock, events/sec, allocation rates, and LP-solver
+// work are tracked across commits instead of anecdotes.
+//
+// Measurements isolate serving: traces are generated and engines built
+// (plans and profile fits shared through the sweep cache) before the
+// clock starts, and each (scenario, engine) pair keeps the best of
+// Options.Repeat runs. Runs are deterministic, so repeats only shave
+// scheduler noise — every repeat executes the identical event sequence.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"hetis/internal/engine"
+	"hetis/internal/model"
+	"hetis/internal/scenario"
+	"hetis/internal/sweep"
+)
+
+// Options tunes a harness run.
+type Options struct {
+	// Scenarios names the registered scenarios to measure; empty means
+	// every registered scenario. The selection is always sorted, so the
+	// report layout is deterministic regardless of input order.
+	Scenarios []string
+	// Quick quarters trace durations, like scenario.Options.Quick — the CI
+	// smoke setting.
+	Quick bool
+	// Repeat is how many times each (scenario, engine) pair runs; the best
+	// wall-clock is kept (default 1).
+	Repeat int
+	// SkipMicro omits the micro-benchmarks (they add a few seconds).
+	SkipMicro bool
+}
+
+// Run executes the harness and assembles the report.
+func Run(opts Options) (*Report, error) {
+	names := append([]string(nil), opts.Scenarios...)
+	if len(names) == 0 {
+		names = scenario.Names()
+	}
+	sort.Strings(names)
+	repeat := opts.Repeat
+	if repeat <= 0 {
+		repeat = 1
+	}
+
+	rep := &Report{
+		Schema:    SchemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     opts.Quick,
+	}
+
+	cache := sweep.NewCache()
+	for _, name := range names {
+		spec, err := scenario.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		spec = scenario.Prepare(spec, opts.Quick)
+		results, err := measureScenario(spec, repeat, cache)
+		if err != nil {
+			return nil, err
+		}
+		rep.Suite.Scenarios = append(rep.Suite.Scenarios, results...)
+	}
+	for _, sb := range rep.Suite.Scenarios {
+		rep.Suite.WallSeconds += sb.WallSeconds
+		rep.Suite.Events += sb.Events
+		rep.Suite.LPSolves += sb.LPSolves
+		rep.Suite.LPSolvesAvoided += sb.LPSolvesAvoided
+	}
+	if rep.Suite.WallSeconds > 0 {
+		rep.Suite.EventsPerSec = float64(rep.Suite.Events) / rep.Suite.WallSeconds
+	}
+	rep.Suite.CacheHits, rep.Suite.CacheMisses = cache.Stats()
+
+	if !opts.SkipMicro {
+		rep.Micro = RunMicro()
+	}
+	return rep, nil
+}
+
+// measureScenario times every engine the spec names on the spec's trace.
+func measureScenario(spec scenario.Spec, repeat int, cache *sweep.Cache) ([]ScenarioBench, error) {
+	key := sweep.TraceKey{Scenario: spec.Name, Duration: spec.Duration, Seed: spec.Seed}
+	reqs, err := cache.Trace(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("bench: scenario %s has an empty trace", spec.Name)
+	}
+	m, err := model.ByName(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := scenario.ClusterByName(spec.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.DefaultConfig(m, cluster)
+	horizon := scenario.MeasurementHorizon(spec.Duration) // same window as scenario.RunEngine
+
+	var out []ScenarioBench
+	for _, engName := range spec.Engines {
+		eng, err := cache.BuildEngine(engName, cfg, key)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: %w", spec.Name, engName, err)
+		}
+		sb := ScenarioBench{Scenario: spec.Name, Engine: engName}
+		for rep := 0; rep < repeat; rep++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			res, err := eng.Run(reqs, horizon)
+			wall := time.Since(t0).Seconds()
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%s: %w", spec.Name, engName, err)
+			}
+			if rep == 0 || wall < sb.WallSeconds {
+				sb.WallSeconds = wall
+				sb.Events = res.Events
+				sb.Completed = res.Completed
+				sb.LPSolves = res.LPSolves
+				sb.LPSolvesAvoided = res.LPSolvesAvoided
+				if res.Events > 0 {
+					sb.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(res.Events)
+					sb.AllocBytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Events)
+				}
+			}
+		}
+		if sb.WallSeconds > 0 {
+			sb.EventsPerSec = float64(sb.Events) / sb.WallSeconds
+		}
+		out = append(out, sb)
+	}
+	return out, nil
+}

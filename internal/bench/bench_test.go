@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hetis/internal/scenario"
+)
+
+// TestRunQuickSteady measures one scenario at quick scale and sanity-checks
+// every reported field.
+func TestRunQuickSteady(t *testing.T) {
+	rep, err := Run(Options{Scenarios: []string{"steady"}, Quick: true, SkipMicro: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaVersion {
+		t.Errorf("schema %q want %q", rep.Schema, SchemaVersion)
+	}
+	spec, err := scenario.ByName("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(spec.WithDefaults().Engines); len(rep.Suite.Scenarios) != want {
+		t.Fatalf("measured %d pairs want %d", len(rep.Suite.Scenarios), want)
+	}
+	for _, sb := range rep.Suite.Scenarios {
+		if sb.Scenario != "steady" {
+			t.Errorf("unexpected scenario %q", sb.Scenario)
+		}
+		if sb.WallSeconds <= 0 || sb.Events == 0 || sb.EventsPerSec <= 0 {
+			t.Errorf("%s/%s: empty measurement %+v", sb.Scenario, sb.Engine, sb)
+		}
+		if sb.Completed == 0 {
+			t.Errorf("%s/%s: no requests completed", sb.Scenario, sb.Engine)
+		}
+		if sb.Engine == "hetis" && sb.LPSolves == 0 {
+			t.Errorf("hetis run reports zero LP solves")
+		}
+	}
+	if rep.Suite.WallSeconds <= 0 || rep.Suite.Events == 0 {
+		t.Errorf("suite totals empty: %+v", rep.Suite)
+	}
+	if rep.Suite.CacheMisses == 0 {
+		t.Errorf("suite should have populated the sweep cache")
+	}
+}
+
+// TestScenarioSelectionDeterministic pins the selection rule: the report
+// lists scenarios in sorted name order whatever order the caller gives,
+// and defaults to the full registry.
+func TestScenarioSelectionDeterministic(t *testing.T) {
+	rep, err := Run(Options{Scenarios: []string{"steady", "bursty"}, Quick: true, SkipMicro: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, sb := range rep.Suite.Scenarios {
+		if len(order) == 0 || order[len(order)-1] != sb.Scenario {
+			order = append(order, sb.Scenario)
+		}
+	}
+	if want := []string{"bursty", "steady"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("scenario order %v want %v (sorted regardless of input order)", order, want)
+	}
+}
+
+// TestReportRoundTrip pins the BENCH.json schema: Write then ReadFile must
+// reproduce the report exactly, and a wrong schema version must be
+// rejected.
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema:    SchemaVersion,
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		NumCPU:    1,
+		Suite: Suite{
+			WallSeconds:  1.25,
+			Events:       100,
+			EventsPerSec: 80,
+			LPSolves:     7,
+			Scenarios: []ScenarioBench{{
+				Scenario: "steady", Engine: "hetis",
+				WallSeconds: 1.25, Events: 100, EventsPerSec: 80,
+				Completed: 42, AllocsPerEvent: 3.5, LPSolves: 7,
+			}},
+		},
+		Micro: []MicroBench{{Name: "sim/schedule-run-1024", NsPerOp: 123.4, AllocsPerOp: 5, BytesPerOp: 640}},
+	}
+	rep.WithBaseline(&Suite{WallSeconds: 2.5, Events: 100})
+	if rep.SpeedupVsBaseline != 2 {
+		t.Fatalf("speedup=%g want 2", rep.SpeedupVsBaseline)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := Write(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("round trip diverged:\nwrote %+v\nread  %+v", rep, back)
+	}
+
+	bad := *rep
+	bad.Schema = "hetis-bench/999"
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := Write(badPath, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(badPath); err == nil {
+		t.Error("ReadFile accepted an unknown schema version")
+	}
+}
+
+// TestRunUnknownScenario surfaces registry misses instead of measuring a
+// partial suite.
+func TestRunUnknownScenario(t *testing.T) {
+	if _, err := Run(Options{Scenarios: []string{"nope"}, Quick: true, SkipMicro: true}); err == nil {
+		t.Fatal("expected unknown-scenario error")
+	}
+}
+
+// TestRunMicro smokes the micro set: every benchmark must produce a
+// positive per-op time and a stable name for the report.
+func TestRunMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro benchmarks take a few seconds")
+	}
+	micros := RunMicro()
+	want := []string{
+		"sim/schedule-run-1024",
+		"dispatch/admission-lp",
+		"dispatch/ideal-attn-lp-128",
+		"kvcache/alloc-extend-free",
+	}
+	if len(micros) != len(want) {
+		t.Fatalf("got %d micro results want %d", len(micros), len(want))
+	}
+	for i, mb := range micros {
+		if mb.Name != want[i] {
+			t.Errorf("micro[%d] = %q want %q", i, mb.Name, want[i])
+		}
+		if mb.NsPerOp <= 0 {
+			t.Errorf("%s: NsPerOp = %g", mb.Name, mb.NsPerOp)
+		}
+	}
+}
+
+// TestSamePairs pins the baseline comparability predicate.
+func TestSamePairs(t *testing.T) {
+	a := &Suite{Scenarios: []ScenarioBench{{Scenario: "steady", Engine: "hetis"}, {Scenario: "steady", Engine: "hexgen"}}}
+	b := &Suite{Scenarios: []ScenarioBench{{Scenario: "steady", Engine: "hetis"}, {Scenario: "steady", Engine: "hexgen"}}}
+	if !SamePairs(a, b) {
+		t.Error("identical pair sets should compare equal")
+	}
+	b.Scenarios[1].Engine = "splitwise"
+	if SamePairs(a, b) {
+		t.Error("different engines must not compare equal")
+	}
+	if SamePairs(a, &Suite{}) || SamePairs(nil, b) {
+		t.Error("size mismatch / nil must not compare equal")
+	}
+}

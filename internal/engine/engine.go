@@ -158,6 +158,15 @@ type Result struct {
 	MigratedBytes int64
 	// Horizon is the simulated time at which the run ended.
 	Horizon float64
+
+	// Events is the number of discrete events the run executed — the
+	// denominator-free measure of simulation work that the perf trajectory
+	// (internal/bench) divides by wall-clock for events/sec.
+	Events uint64
+	// LPSolves counts dispatch/ideal-placement LP solves across the run's
+	// dispatchers; LPSolvesAvoided counts solves the caching layer skipped.
+	// Both are zero for engines without dynamic dispatch.
+	LPSolves, LPSolvesAvoided int
 }
 
 // Throughput is completed requests per simulated second.
@@ -253,6 +262,23 @@ func recordFinish(rec *metrics.Recorder, r *request, now float64) {
 		Tenant:     r.wl.Tenant,
 		Evicted:    r.evicted,
 	})
+}
+
+// moduleSeriesCap estimates the decode-iteration count of a trace for
+// preallocating the §7.3 DenseTimes/AttnTimes series: iterations are
+// bounded by total output tokens (every iteration emits at least one),
+// capped so huge traces don't over-reserve — beyond the cap, growth
+// amortizes as usual.
+func moduleSeriesCap(reqs []workload.Request) int {
+	const maxCap = 1 << 20
+	total := 0
+	for _, r := range reqs {
+		total += r.OutputLen
+		if total >= maxCap {
+			return maxCap
+		}
+	}
+	return total
 }
 
 // moduleLatency implements §7.3's metric: the maximum per-stage execution

@@ -156,8 +156,30 @@ type hetisInstance struct {
 	// next iteration.
 	pendingDelay float64
 
+	// decodeMemo caches the dense side of a decode iteration per batch
+	// size. Dense-module cost is a pure function of (stage layout, batch)
+	// — head placement never touches dense modules — so the memo needs no
+	// invalidation; attention costs depend on the live head assignment and
+	// are recomputed every iteration.
+	decodeMemo map[int]*decodeCost
+	// attnScratch and stillBuf are per-iteration scratch reused across
+	// decode steps; overflowHit is the worker-indexed overflow marker that
+	// replaces a per-step map.
+	attnScratch []float64
+	stillBuf    []*request
+	overflowHit []bool
+
 	res *Result
 	cfg *Config
+}
+
+// decodeCost is the memoized dense side of one decode iteration.
+type decodeCost struct {
+	// denseModule is moduleLatency over per-stage dense times (the §7.3
+	// DenseTimes sample); dense is the full iteration dense cost including
+	// pipeline hops and the LM head.
+	denseModule float64
+	dense       float64
 }
 
 func (h *Hetis) newInstance(idx int, in parallelizer.Instance, res *Result) (*hetisInstance, error) {
@@ -241,6 +263,9 @@ func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 		HeadSeries:    map[hardware.DeviceID]*metrics.Series{},
 		CacheSeries:   map[hardware.DeviceID]*metrics.Series{},
 	}
+	iters := moduleSeriesCap(reqs)
+	res.DenseTimes = make([]float64, 0, iters)
+	res.AttnTimes = make([]float64, 0, iters)
 	var instances []*hetisInstance
 	for i, in := range h.plan.Instances {
 		inst, err := h.newInstance(i, in, res)
@@ -252,8 +277,8 @@ func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 
 	s := sim.New()
 	s.MaxEvents = h.cfg.MaxSimEvents(len(reqs))
+	loads := make([]int, len(instances)) // reused per arrival
 	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
-		loads := make([]int, len(instances))
 		for i, in := range instances {
 			loads[i] = in.waiting.len() + len(in.running)
 		}
@@ -280,6 +305,11 @@ func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 		return nil, err
 	}
 	res.Horizon = s.Now()
+	res.Events = s.Executed
+	for _, inst := range instances {
+		res.LPSolves += inst.disp.LPSolves
+		res.LPSolvesAvoided += inst.disp.LPSolvesAvoided
+	}
 	return res, nil
 }
 
@@ -425,7 +455,7 @@ func (inst *hetisInstance) prefillTime(prompts []int, admitted []*request) float
 	for wi := len(inst.stages); wi < inst.disp.NumWorkers(); wi++ {
 		var bytes int64
 		for _, req := range admitted {
-			x := inst.disp.Placement(req.wl.ID)
+			x := inst.disp.PlacementView(req.wl.ID)
 			if x == nil || x[wi] == 0 {
 				continue
 			}
@@ -440,15 +470,15 @@ func (inst *hetisInstance) prefillTime(prompts []int, admitted []*request) float
 	return dt + maxLeg
 }
 
-// tryDecode runs one decode iteration over the running batch.
-func (inst *hetisInstance) tryDecode(s *sim.Simulator) bool {
-	if len(inst.running) == 0 {
-		return false
+// decodeCostFor memoizes the dense side of a decode iteration per batch
+// size; batch sizes repeat constantly across iterations, so after warmup
+// the hot path is a map hit instead of re-walking the cost model.
+func (inst *hetisInstance) decodeCostFor(batch int) *decodeCost {
+	if c, ok := inst.decodeMemo[batch]; ok {
+		return c
 	}
 	est := inst.eng.est
 	cfg := inst.cfg
-	batch := len(inst.running)
-
 	stageTimes := make([]float64, len(inst.stages))
 	var dense float64
 	for k, st := range inst.stages {
@@ -460,19 +490,37 @@ func (inst *hetisInstance) tryDecode(s *sim.Simulator) bool {
 	}
 	last := inst.stages[len(inst.stages)-1]
 	dense += est.LMHeadTime(last.Spec, batch, last.TP)
+	c := &decodeCost{denseModule: moduleLatency(stageTimes), dense: dense}
+	if inst.decodeMemo == nil {
+		inst.decodeMemo = make(map[int]*decodeCost)
+	}
+	inst.decodeMemo[batch] = c
+	return c
+}
 
+// tryDecode runs one decode iteration over the running batch.
+func (inst *hetisInstance) tryDecode(s *sim.Simulator) bool {
+	if len(inst.running) == 0 {
+		return false
+	}
+	cfg := inst.cfg
+	batch := len(inst.running)
+
+	cost := inst.decodeCostFor(batch)
 	attnPerLayer := inst.disp.AttnStepTime()
 	attn := float64(cfg.Model.Layers) * attnPerLayer
 
 	// §7.3 module metrics.
-	inst.res.DenseTimes = append(inst.res.DenseTimes, moduleLatency(stageTimes))
-	attnPerStage := make([]float64, len(inst.stages))
-	for k, st := range inst.stages {
-		attnPerStage[k] = float64(st.Layers) * attnPerLayer
+	inst.res.DenseTimes = append(inst.res.DenseTimes, cost.denseModule)
+	if inst.attnScratch == nil {
+		inst.attnScratch = make([]float64, len(inst.stages))
 	}
-	inst.res.AttnTimes = append(inst.res.AttnTimes, moduleLatency(attnPerStage))
+	for k, st := range inst.stages {
+		inst.attnScratch[k] = float64(st.Layers) * attnPerLayer
+	}
+	inst.res.AttnTimes = append(inst.res.AttnTimes, moduleLatency(inst.attnScratch))
 
-	dt := dense + attn + inst.pendingDelay
+	dt := cost.dense + attn + inst.pendingDelay
 	inst.pendingDelay = 0
 	s.After(dt, "decode-done", func(s *sim.Simulator) {
 		inst.afterDecode(s)
@@ -485,8 +533,16 @@ func (inst *hetisInstance) tryDecode(s *sim.Simulator) bool {
 // §5.3 maintenance: memory-pressure handling and compute re-balancing.
 func (inst *hetisInstance) afterDecode(s *sim.Simulator) {
 	cfg := inst.cfg
-	var still []*request
-	overflown := map[int]bool{}
+	// still reuses a second buffer double-swapped with running, so the
+	// per-iteration batch rebuild allocates nothing once warm. The two
+	// backing arrays are always distinct, preserving the original
+	// semantics: evictions triggered mid-loop splice inst.running (the old
+	// array) and never touch still.
+	still := inst.stillBuf[:0]
+	if inst.overflowHit == nil {
+		inst.overflowHit = make([]bool, inst.disp.NumWorkers())
+	}
+	anyOverflow := false
 	for _, r := range inst.running {
 		r.generated++
 		if r.done() {
@@ -496,17 +552,30 @@ func (inst *hetisInstance) afterDecode(s *sim.Simulator) {
 		over, err := inst.disp.ExtendContext(r.wl.ID, 1)
 		if err == nil {
 			for _, w := range over {
-				overflown[w] = true
+				inst.overflowHit[w] = true
+				anyOverflow = true
 			}
 		}
 		inst.kvExtend(s, r.wl.ID)
 		still = append(still, r)
 	}
+	prev := inst.running
 	inst.running = still
+	prev = prev[:cap(prev)]
+	for i := range prev {
+		prev[i] = nil // drop stale request pointers before reuse as scratch
+	}
+	inst.stillBuf = prev[:0]
 	inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindDecode, Value: float64(len(still))})
 
-	for _, w := range sortedKeys(overflown) {
-		inst.handleMemoryPressure(s, w)
+	if anyOverflow {
+		// Ascending worker order, like the sorted map keys it replaces.
+		for w := range inst.overflowHit {
+			if inst.overflowHit[w] {
+				inst.overflowHit[w] = false
+				inst.handleMemoryPressure(s, w)
+			}
+		}
 	}
 	inst.decodeSteps++
 	every := cfg.RebalanceEvery
@@ -543,7 +612,7 @@ func (inst *hetisInstance) underWatermark(ctx int) bool {
 
 // kvAlloc mirrors a dispatch placement into the block managers.
 func (inst *hetisInstance) kvAlloc(s *sim.Simulator, id int64, ctx int) bool {
-	x := inst.disp.Placement(id)
+	x := inst.disp.PlacementView(id)
 	if x == nil {
 		return false
 	}
@@ -566,7 +635,7 @@ func (inst *hetisInstance) kvAlloc(s *sim.Simulator, id int64, ctx int) bool {
 // kvExtend grows the block allocation by one token on every worker holding
 // the request, force-evicting on block exhaustion.
 func (inst *hetisInstance) kvExtend(s *sim.Simulator, id int64) {
-	x := inst.disp.Placement(id)
+	x := inst.disp.PlacementView(id)
 	if x == nil {
 		return
 	}
@@ -592,6 +661,9 @@ func (inst *hetisInstance) kvFree(id int64) {
 // frozenRequests lists requests migrated within the last `window` decode
 // steps; they are exempt from further re-dispatching to damp ping-pong.
 func (inst *hetisInstance) frozenRequests(window int) map[int64]bool {
+	if len(inst.lastMig) == 0 {
+		return nil // reads on a nil map are false, and no allocation
+	}
 	out := make(map[int64]bool)
 	for id, step := range inst.lastMig {
 		if inst.decodeSteps-step < 2*window {

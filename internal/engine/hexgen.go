@@ -53,6 +53,9 @@ func (h *HexGen) Run(reqs []workload.Request, horizon float64) (*Result, error) 
 		Trace:         &trace.Log{},
 		CacheCapacity: h.CacheCapacity(),
 	}
+	iters := moduleSeriesCap(reqs)
+	res.DenseTimes = make([]float64, 0, iters)
+	res.AttnTimes = make([]float64, 0, iters)
 	h.pipe.usedTokens = 0 // fresh run
 	rt := &staticRuntime{
 		cfg:  h.cfg,
@@ -75,6 +78,7 @@ func (h *HexGen) Run(reqs []workload.Request, horizon float64) (*Result, error) 
 		return nil, err
 	}
 	res.Horizon = s.Now()
+	res.Events = s.Executed
 	return res, nil
 }
 
@@ -176,8 +180,8 @@ func (rt *staticRuntime) tryDecode(s *sim.Simulator) bool {
 		ctxTokens += int64(r.contextLen())
 	}
 	dt, dense, attn := rt.pipe.decodeTime(rt.est, rt.cfg, len(rt.running), ctxTokens)
-	rt.res.DenseTimes = append(rt.res.DenseTimes, moduleLatency(dense))
-	rt.res.AttnTimes = append(rt.res.AttnTimes, moduleLatency(attn))
+	rt.res.DenseTimes = append(rt.res.DenseTimes, dense)
+	rt.res.AttnTimes = append(rt.res.AttnTimes, attn)
 	s.After(dt, "hexgen-decode", func(s *sim.Simulator) {
 		rt.afterDecode(s)
 		rt.step(s)

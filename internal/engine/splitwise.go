@@ -83,6 +83,9 @@ func (sw *Splitwise) Run(reqs []workload.Request, horizon float64) (*Result, err
 		Trace:         &trace.Log{},
 		CacheCapacity: sw.CacheCapacity(),
 	}
+	iters := moduleSeriesCap(reqs)
+	res.DenseTimes = make([]float64, 0, iters)
+	res.AttnTimes = make([]float64, 0, iters)
 	sw.prefill.usedTokens = 0 // fresh run
 	sw.decode.usedTokens = 0
 	rt := &splitwiseRuntime{sw: sw, res: res, seq: map[int64]int64{}}
@@ -99,6 +102,7 @@ func (sw *Splitwise) Run(reqs []workload.Request, horizon float64) (*Result, err
 		return nil, err
 	}
 	res.Horizon = s.Now()
+	res.Events = s.Executed
 	return res, nil
 }
 
@@ -250,8 +254,8 @@ func (rt *splitwiseRuntime) decodeStep(s *sim.Simulator) {
 		ctxTokens += int64(r.contextLen())
 	}
 	dt, dense, attn := dec.decodeTime(rt.sw.est, cfg, len(rt.running), ctxTokens)
-	rt.res.DenseTimes = append(rt.res.DenseTimes, moduleLatency(dense))
-	rt.res.AttnTimes = append(rt.res.AttnTimes, moduleLatency(attn))
+	rt.res.DenseTimes = append(rt.res.DenseTimes, dense)
+	rt.res.AttnTimes = append(rt.res.AttnTimes, attn)
 	s.After(dt, "sw-decode-done", func(s *sim.Simulator) {
 		rt.afterDecode(s)
 		rt.decodeStep(s)

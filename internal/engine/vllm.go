@@ -65,6 +65,9 @@ func (v *VLLM) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 		Trace:         &trace.Log{},
 		CacheCapacity: v.CacheCapacity(),
 	}
+	iters := moduleSeriesCap(reqs)
+	res.DenseTimes = make([]float64, 0, iters)
+	res.AttnTimes = make([]float64, 0, iters)
 	v.pipe.usedTokens = 0
 	rt := &staticRuntime{
 		cfg:  v.cfg,
@@ -87,5 +90,6 @@ func (v *VLLM) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 		return nil, err
 	}
 	res.Horizon = s.Now()
+	res.Events = s.Executed
 	return res, nil
 }

@@ -270,26 +270,54 @@ func (p *Problem) Solve() (Result, error) {
 // simplex optimizes the tableau in place for objective c (length = number
 // of structural columns; +Inf marks blocked columns). Returns Optimal or
 // Unbounded.
+//
+// Reduced costs r_j = c_j − c_B·B⁻¹A_j are computed directly from the
+// tableau, skipping basic variables with zero cost — exactly what the
+// original per-row `if cb != 0` guard did, so the arithmetic (and thus
+// every pivot decision) is bit-identical. The hot-loop optimization is
+// to precompute the set of nonzero-cost basic rows once per pivot
+// instead of rediscovering it for every candidate column: the set is
+// tiny (the artificial rows in phase 1, usually a single row in phase
+// 2), which turns the entering-column scan from O(columns × rows) into
+// O(columns × |hot rows|).
 func simplex(tab [][]float64, basis []int, c []float64) Status {
 	m := len(tab)
 	if m == 0 {
 		return Optimal
 	}
 	total := len(tab[0]) - 1
+	blocked := make([]bool, len(c))
+	for j, cj := range c {
+		blocked[j] = math.IsInf(cj, 1)
+	}
+	// hot lists the basic rows whose basis variable carries nonzero cost,
+	// in ascending row order (the accumulation order of the original
+	// loop). Rebuilt after every pivot, O(m).
+	hot := make([]int, 0, m)
+	rebuildHot := func() {
+		hot = hot[:0]
+		for i, b := range basis {
+			if b < len(c) && !blocked[b] && c[b] != 0 {
+				hot = append(hot, i)
+			}
+		}
+	}
+	rebuildHot()
 	for iter := 0; ; iter++ {
 		if iter > 200000 {
 			// With Bland's rule this cannot cycle; this is a hard safety
 			// net for pathological numerics.
 			return Optimal
 		}
-		// Reduced costs: r_j = c_j - c_B · B⁻¹A_j, computed directly from
-		// the tableau (c_B from basis).
 		entering := -1
 		for j := 0; j < total; j++ {
-			if math.IsInf(c[j], 1) {
+			if blocked[j] {
 				continue
 			}
-			r := reducedCost(tab, basis, c, j)
+			r := c[j]
+			for _, i := range hot {
+				r -= c[basis[i]] * tab[i][j]
+			}
 			if r < -eps {
 				entering = j // Bland: first improving column
 				break
@@ -315,22 +343,8 @@ func simplex(tab [][]float64, basis []int, c []float64) Status {
 			return Unbounded
 		}
 		pivot(tab, basis, leaving, entering)
+		rebuildHot()
 	}
-}
-
-// reducedCost computes c_j minus the basic-cost-weighted column j.
-func reducedCost(tab [][]float64, basis []int, c []float64, j int) float64 {
-	r := c[j]
-	for i, b := range basis {
-		cb := 0.0
-		if b < len(c) && !math.IsInf(c[b], 1) {
-			cb = c[b]
-		}
-		if cb != 0 {
-			r -= cb * tab[i][j]
-		}
-	}
-	return r
 }
 
 // pivot makes column j basic in row i.

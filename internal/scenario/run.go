@@ -39,13 +39,24 @@ func BuildEngine(name string, cfg engine.Config, reqs []workload.Request) (engin
 	return engine.NewByName(name, cfg, reqs)
 }
 
-func clusterByName(name string) (*hardware.Cluster, error) {
+// ClusterByName resolves a spec's cluster name ("" and "paper" are the
+// paper's evaluation cluster). Exported so harnesses that run engines
+// directly (internal/bench) resolve deployments exactly like RunEngine.
+func ClusterByName(name string) (*hardware.Cluster, error) {
 	switch name {
 	case "", "paper":
 		return hardware.PaperCluster(), nil
 	}
 	return nil, fmt.Errorf("scenario: unknown cluster %q", name)
 }
+
+// MeasurementHorizon is the window a scenario run measures rates over: a
+// generous multiple of the trace duration, so queues fully drain while
+// every engine shares the same denominator (Result.Horizon advances to
+// it on early drain). Harnesses that time engines directly
+// (internal/bench, sweep grids) must use the same window so their runs
+// replay exactly what the golden harness pinned.
+func MeasurementHorizon(duration float64) float64 { return duration * 30 }
 
 // Prepare resolves a spec into its effective form for a run: defaults
 // filled and Quick scaling applied. Pooled runners use it so the trace
@@ -79,7 +90,7 @@ func RunEngine(spec Spec, engineName string, opts Options) (*metrics.Table, erro
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := clusterByName(spec.Cluster)
+	cluster, err := ClusterByName(spec.Cluster)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +103,7 @@ func RunEngine(spec Spec, engineName string, opts Options) (*metrics.Table, erro
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s/%s: %w", spec.Name, engineName, err)
 	}
-	res, err := eng.Run(reqs, spec.Duration*30)
+	res, err := eng.Run(reqs, MeasurementHorizon(spec.Duration))
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s/%s: %w", spec.Name, engineName, err)
 	}

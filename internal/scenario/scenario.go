@@ -219,7 +219,7 @@ func (s Spec) Validate() error {
 	if _, err := model.ByName(s.Model); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
-	if _, err := clusterByName(s.Cluster); err != nil {
+	if _, err := ClusterByName(s.Cluster); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	for _, e := range s.Engines {

@@ -11,6 +11,11 @@ import (
 )
 
 // Event is a callback scheduled to run at a particular virtual time.
+//
+// Events are pooled: once an event has fired, its struct may be recycled
+// for a later Schedule call. A handle returned by Schedule/After is
+// therefore only valid for Cancel until the event fires; cancelling a
+// handle after its event ran is undefined (it may alias a newer event).
 type Event struct {
 	// At is the virtual time, in seconds, at which the event fires.
 	At float64
@@ -71,6 +76,10 @@ type Simulator struct {
 	// MaxEvents, when non-zero, aborts Run with an error after that many
 	// events. It protects experiments from accidental infinite loops.
 	MaxEvents uint64
+
+	// free recycles fired events; Schedule pops from it before allocating.
+	// Cancelled events are not recycled (their handles stay live).
+	free []*Event
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -91,7 +100,14 @@ func (s *Simulator) Schedule(at float64, name string, fn func(s *Simulator)) *Ev
 	if at < s.now {
 		at = s.now
 	}
-	ev := &Event{At: at, Name: name, Fn: fn, seq: s.nextSeq}
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free = s.free[:n-1]
+		*ev = Event{At: at, Name: name, Fn: fn, seq: s.nextSeq}
+	} else {
+		ev = &Event{At: at, Name: name, Fn: fn, seq: s.nextSeq}
+	}
 	s.nextSeq++
 	heap.Push(&s.queue, ev)
 	return ev
@@ -105,8 +121,10 @@ func (s *Simulator) After(delay float64, name string, fn func(s *Simulator)) *Ev
 	return s.Schedule(s.now+delay, name, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// already fired (or was already cancelled) is a no-op and returns false.
+// Cancel removes a pending event from the queue; it returns false for an
+// already-cancelled event. Handles must not be cancelled after their event
+// fires: fired events are pooled, so a stale handle may alias a newer
+// event (see Event).
 func (s *Simulator) Cancel(ev *Event) bool {
 	if ev == nil || ev.index < 0 || ev.index >= len(s.queue) || s.queue[ev.index] != ev {
 		return false
@@ -149,6 +167,8 @@ func (s *Simulator) Run(horizon float64) error {
 			return fmt.Errorf("sim: exceeded MaxEvents=%d (runaway simulation?)", s.MaxEvents)
 		}
 		ev.Fn(s)
+		ev.Fn = nil // drop the closure before pooling
+		s.free = append(s.free, ev)
 	}
 	if horizon > 0 && !s.stopped && len(s.queue) == 0 && s.now < horizon {
 		s.now = horizon

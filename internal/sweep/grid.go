@@ -171,7 +171,7 @@ func RunPoint(s GridSpec, p Point, c *Cache) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := eng.Run(reqs, s.Duration*30)
+	res, err := eng.Run(reqs, scenario.MeasurementHorizon(s.Duration))
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,8 @@
 //	hetisbench -grid scenario=bursty,diurnal  # scenarios as a grid dimension
 //	hetisbench -scenario all -jobs 8          # the scenario catalog, pooled
 //	hetisbench -scenario bursty,multitenant -csv
+//	hetisbench -scenario megascale -stream    # million requests, O(1) metric memory
+//	hetisbench -scenario diurnal -stream -windows 5   # plus 5s windowed series
 //	hetisbench -bench                         # perf trajectory -> BENCH.json
 //	hetisbench -bench -quick -repeat 3        # CI smoke: reduced scale, best-of-3
 //	hetisbench -bench -bench-baseline old.json -bench-out BENCH.json
@@ -87,6 +89,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	benchBase := fs.String("bench-baseline", "", "existing BENCH.json whose suite becomes the -bench baseline")
 	repeat := fs.Int("repeat", 1, "repetitions per -bench measurement (best wall-clock kept)")
 	benchMicro := fs.Bool("bench-micro", true, "include micro-benchmarks in -bench (adds a few seconds)")
+	benchSinks := fs.Bool("bench-sinks", true, "include the exact-vs-streaming sink comparison in -bench (runs megascale twice; adds ~15s full-scale)")
+	stream := fs.Bool("stream", false, "measure through constant-memory streaming sinks (grid, scenario, bench modes)")
+	windows := fs.Float64("windows", 0, "with -stream -scenario: also print windowed time series with this bucket width in seconds")
 
 	// Parse in rounds so flags and bare key=value grid dimensions can
 	// interleave: the flag package stops at the first non-flag argument,
@@ -141,6 +146,13 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return usageError("need exactly one of -exp, -grid, -scenario or -bench (see -h; -list shows ids)")
 	}
 
+	if *windows != 0 && !(*stream && *scen != "" && !*benchMode) {
+		return usageError("-windows needs -stream and -scenario (the windowed series is a streaming-sink product)")
+	}
+	if *windows < 0 {
+		return usageError("-windows must be positive")
+	}
+
 	start := time.Now()
 	pool := hetis.SweepOptions{Jobs: *jobs, Cache: hetis.NewSweepCache()}
 	switch {
@@ -150,11 +162,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if *seed != 0 || *csv || *jobs != 0 {
 			return usageError("-seed, -csv and -jobs do not apply to -bench")
 		}
-		if err := runPerfBench(stdout, stderr, *scen, *quick, *repeat, *benchOut, *benchBase, *benchMicro); err != nil {
+		if err := runPerfBench(stdout, stderr, *scen, *quick, *repeat, *stream, *benchOut, *benchBase, *benchMicro, *benchSinks); err != nil {
 			return err
 		}
 	case len(gridDims) > 0:
-		spec := hetis.GridSpec{Quick: *quick, Seed: *seed}
+		spec := hetis.GridSpec{Quick: *quick, Seed: *seed, Stream: *stream}
 		spec, err := hetis.ParseGridDims(spec, gridDims)
 		if err != nil {
 			return err
@@ -165,12 +177,34 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		}
 		emit(stdout, tab, *csv)
 	case *scen != "":
-		tab, err := hetis.RunScenarios(strings.Split(*scen, ","), *quick, *seed, pool)
+		names := strings.Split(*scen, ",")
+		if *stream {
+			tab, wins, err := hetis.RunScenariosStream(names, *quick, *seed, *windows, pool)
+			if err != nil {
+				return err
+			}
+			emit(stdout, tab, *csv)
+			// Keep -csv stdout machine-parseable: the per-run banners go to
+			// stderr there, so stdout stays a sequence of pure CSV tables.
+			banners := stdout
+			if *csv {
+				banners = stderr
+			}
+			for _, w := range wins {
+				fmt.Fprintf(banners, "\n=== windows %s/%s (%gs buckets) ===\n", w.Scenario, w.Engine, *windows)
+				emit(stdout, w.Table, *csv)
+			}
+			break
+		}
+		tab, err := hetis.RunScenarios(names, *quick, *seed, pool)
 		if err != nil {
 			return err
 		}
 		emit(stdout, tab, *csv)
 	default:
+		if *stream {
+			return usageError("-stream does not apply to -exp (experiments pin exact paper tables)")
+		}
 		ids := strings.Split(*exp, ",")
 		if *exp == "all" {
 			ids = hetis.ExperimentIDs()
@@ -195,8 +229,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 
 // runPerfBench executes the perf-trajectory harness and writes BENCH.json. A
 // summary table goes to stdout so humans see the numbers the file records.
-func runPerfBench(stdout, stderr io.Writer, scen string, quick bool, repeat int, outPath, basePath string, micro bool) error {
-	opts := hetis.BenchOptions{Quick: quick, Repeat: repeat, SkipMicro: !micro}
+func runPerfBench(stdout, stderr io.Writer, scen string, quick bool, repeat int, stream bool, outPath, basePath string, micro, sinks bool) error {
+	opts := hetis.BenchOptions{Quick: quick, Repeat: repeat, Stream: stream, SkipMicro: !micro, SkipSinks: !sinks}
 	if scen != "" && scen != "all" {
 		opts.Scenarios = strings.Split(scen, ",")
 	}
@@ -212,6 +246,10 @@ func runPerfBench(stdout, stderr io.Writer, scen string, quick bool, repeat int,
 		if base.Quick != rep.Quick {
 			return fmt.Errorf("baseline %s was measured with quick=%v, this run is quick=%v (not comparable)",
 				basePath, base.Quick, rep.Quick)
+		}
+		if base.Stream != rep.Stream {
+			return fmt.Errorf("baseline %s was measured with stream=%v, this run is stream=%v (not comparable)",
+				basePath, base.Stream, rep.Stream)
 		}
 		if !hetis.BenchSamePairs(&base.Suite, &rep.Suite) {
 			return fmt.Errorf("baseline %s measured a different (scenario, engine) set than this run (not comparable; match the -scenario selection)",
@@ -237,6 +275,10 @@ func runPerfBench(stdout, stderr io.Writer, scen string, quick bool, repeat int,
 	for _, mb := range rep.Micro {
 		fmt.Fprintf(stdout, "micro: %-28s %12.0f ns/op  %6d B/op  %4d allocs/op\n",
 			mb.Name, mb.NsPerOp, mb.BytesPerOp, mb.AllocsPerOp)
+	}
+	for _, sb := range rep.Sinks {
+		fmt.Fprintf(stdout, "sinks: %s/%s %-9s  %7.3fs wall  %5.2f allocs/ev  live heap %+.1f MB\n",
+			sb.Scenario, sb.Engine, sb.Sink, sb.WallSeconds, sb.AllocsPerEvent, float64(sb.LiveHeapBytes)/1e6)
 	}
 	if rep.Baseline != nil {
 		fmt.Fprintf(stdout, "speedup vs baseline: %.2fx (%.3fs -> %.3fs)\n",

@@ -105,7 +105,7 @@ func TestBenchModeWritesReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"schema": "hetis-bench/1"`) {
+	if !strings.Contains(string(data), `"schema": "hetis-bench/2"`) {
 		t.Errorf("report missing schema:\n%s", data)
 	}
 
@@ -126,5 +126,70 @@ func TestBenchModeWritesReport(t *testing.T) {
 func TestBenchModeComposesWithScenarioOnly(t *testing.T) {
 	if _, err := runBench(t, "-bench", "-exp", "fig8"); !errors.Is(err, errUsage) {
 		t.Errorf("-bench -exp err = %v, want errUsage", err)
+	}
+}
+
+func TestStreamScenarioWithWindows(t *testing.T) {
+	out, err := runBench(t, "-scenario", "steady", "-stream", "-windows", "5", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== windows steady/hetis (5s buckets) ===") {
+		t.Errorf("missing per-engine windows table:\n%s", out)
+	}
+	if !strings.Contains(out, "Goodput(req/s)") || !strings.Contains(out, "TTFT-p95(s)") {
+		t.Errorf("windows table header missing:\n%s", out)
+	}
+}
+
+func TestStreamFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "steady", "-windows", "5"},         // -windows needs -stream
+		{"-grid", "rate=2", "-stream", "-windows", "5"},  // -windows is scenario-only
+		{"-exp", "fig8", "-stream"},                      // experiments are exact
+		{"-bench", "-stream", "-windows", "5", "-quick"}, // bench has no windows
+		{"-scenario", "steady", "-stream", "-windows", "-1"},
+	} {
+		if _, err := runBench(t, args...); !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) err = %v, want errUsage", args, err)
+		}
+	}
+}
+
+func TestStreamGridRuns(t *testing.T) {
+	exact, err := runBench(t, "-grid", "engine=hexgen", "rate=2", "duration=5", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := runBench(t, "-grid", "engine=hexgen", "rate=2", "duration=5", "-csv", "-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity and count columns agree; only latency cells may differ.
+	if exact == "" || stream == "" {
+		t.Fatal("empty grid output")
+	}
+	ef := strings.Split(strings.Split(exact, "\n")[1], ",")
+	sf := strings.Split(strings.Split(stream, "\n")[1], ",")
+	for col := 0; col < 10; col++ {
+		if ef[col] != sf[col] {
+			t.Errorf("col %d: stream %q exact %q", col, sf[col], ef[col])
+		}
+	}
+}
+
+func TestStreamWindowsCSVKeepsStdoutParseable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "steady", "-stream", "-windows", "5", "-quick", "-csv"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "===") {
+		t.Errorf("-csv stdout contains banner lines:\n%s", s)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		if line != "" && !strings.Contains(line, ",") {
+			t.Errorf("-csv stdout has a non-CSV line %q", line)
+		}
 	}
 }

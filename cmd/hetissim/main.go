@@ -1,10 +1,14 @@
-// Command hetissim regenerates the paper's evaluation tables and figures.
+// Command hetissim regenerates the paper's evaluation tables and figures,
+// and serves registered scenarios directly.
 //
 // Usage:
 //
 //	hetissim -exp fig8            # one experiment
 //	hetissim -exp all -quick     # everything, at reduced scale
-//	hetissim -list               # show experiment ids
+//	hetissim -scenario diurnal   # one scenario, exact measurement
+//	hetissim -scenario megascale -stream             # million requests, O(1) metric memory
+//	hetissim -scenario diurnal -stream -windows 5    # plus 5s windowed series
+//	hetissim -list               # show experiment ids and scenarios
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"hetis"
@@ -20,7 +25,7 @@ import (
 
 // errUsage marks command-line mistakes (exit code 2, like flag errors);
 // run reports them to stderr itself.
-var errUsage = errors.New("usage: -exp is required (or use -list)")
+var errUsage = errors.New("usage: one of -exp or -scenario is required (or use -list)")
 
 // errParse marks flag-parse failures the FlagSet already reported.
 var errParse = errors.New("flag parse error")
@@ -43,8 +48,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hetissim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "", "experiment id (see -list), or 'all'")
+	scen := fs.String("scenario", "", "scenario names, comma-separated, or 'all' (the non-heavy catalog)")
 	quick := fs.Bool("quick", false, "reduced-scale traces for fast runs")
-	list := fs.Bool("list", false, "list experiment ids and exit")
+	stream := fs.Bool("stream", false, "with -scenario: measure through constant-memory streaming sinks")
+	windows := fs.Float64("windows", 0, "with -scenario -stream: also print windowed time series with this bucket width in seconds")
+	list := fs.Bool("list", false, "list experiment ids and scenarios, then exit")
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -52,16 +60,36 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%w: %v", errParse, err)
 	}
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && *scen == "") {
 		fmt.Fprintln(stdout, "available experiments:")
 		for _, id := range hetis.ExperimentIDs() {
 			fmt.Fprintf(stdout, "  %s\n", id)
 		}
-		if *exp == "" && !*list {
-			fmt.Fprintln(stderr, "\nerror: -exp is required (or use -list)")
+		fmt.Fprintln(stdout, "available scenarios:")
+		for _, name := range hetis.ScenarioNames() {
+			fmt.Fprintf(stdout, "  %s\n", name)
+		}
+		if *exp == "" && *scen == "" && !*list {
+			fmt.Fprintln(stderr, "\nerror: one of -exp or -scenario is required (or use -list)")
 			return errUsage
 		}
 		return nil
+	}
+	if *exp != "" && *scen != "" {
+		fmt.Fprintln(stderr, "error: -exp and -scenario are mutually exclusive")
+		return errUsage
+	}
+	if (*stream || *windows != 0) && *scen == "" {
+		fmt.Fprintln(stderr, "error: -stream and -windows apply to -scenario runs")
+		return errUsage
+	}
+	if *windows != 0 && (!*stream || *windows < 0) {
+		fmt.Fprintln(stderr, "error: -windows needs -stream and a positive bucket width")
+		return errUsage
+	}
+
+	if *scen != "" {
+		return runScenarios(stdout, strings.Split(*scen, ","), *quick, *stream, *windows)
 	}
 
 	ids := []string{*exp}
@@ -76,6 +104,30 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Fprintf(stdout, "=== %s (%.2fs) ===\n%s\n", id, time.Since(start).Seconds(), tab)
+	}
+	return nil
+}
+
+// runScenarios serves the named scenarios, exact or streaming, printing
+// the catalog-ordered table and (with windows > 0) each run's windowed
+// time series.
+func runScenarios(stdout io.Writer, names []string, quick, stream bool, windows float64) error {
+	start := time.Now()
+	if !stream {
+		tab, err := hetis.RunScenarios(names, quick, 0, hetis.SweepOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "=== scenarios (%.2fs) ===\n%s", time.Since(start).Seconds(), tab)
+		return nil
+	}
+	tab, wins, err := hetis.RunScenariosStream(names, quick, 0, windows, hetis.SweepOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "=== scenarios, streaming (%.2fs) ===\n%s", time.Since(start).Seconds(), tab)
+	for _, w := range wins {
+		fmt.Fprintf(stdout, "\n=== windows %s/%s (%gs buckets) ===\n%s", w.Scenario, w.Engine, windows, w.Table)
 	}
 	return nil
 }

@@ -40,3 +40,29 @@ func TestUnknownExperiment(t *testing.T) {
 		t.Errorf("err = %v, want unknown-experiment naming fig99", err)
 	}
 }
+
+func TestScenarioStreamMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "steady", "-stream", "-windows", "5", "-quick"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== scenarios, streaming") {
+		t.Errorf("missing streaming banner:\n%s", s)
+	}
+	if !strings.Contains(s, "=== windows steady/hetis (5s buckets) ===") {
+		t.Errorf("missing windows table:\n%s", s)
+	}
+}
+
+func TestScenarioFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "fig8", "-scenario", "steady"},
+		{"-exp", "fig8", "-stream"},
+		{"-scenario", "steady", "-windows", "5"},
+	} {
+		if err := run(args, io.Discard, io.Discard); !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) err = %v, want errUsage", args, err)
+		}
+	}
+}

@@ -226,6 +226,60 @@ type Summary = metrics.Summary
 // Table is an aligned text table, the output format of experiments.
 type Table = metrics.Table
 
+// MetricsSink consumes finished-request records as engines emit them; set
+// EngineConfig.Sink to swap the measurement path.
+type MetricsSink = metrics.Sink
+
+// MetricsSnapshot is the uniform aggregate view every sink produces.
+type MetricsSnapshot = metrics.Snapshot
+
+// ExactRecorder stores every record (exact summaries, O(n) memory) — the
+// default sink and the one golden traces pin.
+type ExactRecorder = metrics.ExactRecorder
+
+// StreamingSink summarizes the stream in constant memory: running
+// mean/min/max/count, exact SLO attainment, and relative-error quantile
+// sketches for TTFT/TPOT/normalized latency.
+type StreamingSink = metrics.StreamingSink
+
+// WindowedSeries buckets completions into fixed-width time windows —
+// the streaming counterpart of the dynamic-behaviour plots.
+type WindowedSeries = metrics.WindowedSeries
+
+// WindowStat is one bucket of a WindowedSeries.
+type WindowStat = metrics.WindowStat
+
+// TenantMux fans records out per tenant for multi-tenant attribution.
+type TenantMux = metrics.TenantMux
+
+// SinkTee fans every record out to several sinks.
+type SinkTee = metrics.Tee
+
+// NewExactRecorder returns the store-everything sink; slo tunes what its
+// snapshot counts as attained.
+func NewExactRecorder(slo SLOTarget) *ExactRecorder { return metrics.NewExactRecorder(slo) }
+
+// NewStreamingSink returns a constant-memory sink measuring attainment
+// against slo.
+func NewStreamingSink(slo SLOTarget) *StreamingSink { return metrics.NewStreamingSink(slo) }
+
+// NewWindowedSeries returns a windowed-series sink with the given bucket
+// width in simulated seconds.
+func NewWindowedSeries(window float64, slo SLOTarget) *WindowedSeries {
+	return metrics.NewWindowedSeries(window, slo)
+}
+
+// NewTenantMux fans records to agg plus a lazily created per-tenant sink.
+func NewTenantMux(agg MetricsSink, make func(tenant string) MetricsSink) *TenantMux {
+	return metrics.NewTenantMux(agg, make)
+}
+
+// NewSinkTee builds a tee over primary plus further sinks; Snapshot
+// follows primary.
+func NewSinkTee(primary MetricsSink, rest ...MetricsSink) *SinkTee {
+	return metrics.NewTee(primary, rest...)
+}
+
 // --- Experiments ----------------------------------------------------------------
 
 // ExperimentOptions tunes experiment scale (Quick shrinks traces, Seed
@@ -348,6 +402,10 @@ var DefaultSLO = scenario.DefaultSLO
 // ScenarioNames lists the registered scenarios in sorted order.
 func ScenarioNames() []string { return scenario.Names() }
 
+// ScenarioSuiteNames lists the non-heavy scenarios "all"-style expansions
+// run; heavy scenarios (megascale) run when named explicitly.
+func ScenarioSuiteNames() []string { return scenario.SuiteNames() }
+
 // ScenarioByName resolves a registered scenario.
 func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
 
@@ -359,11 +417,22 @@ func RunScenario(s Scenario, opts ScenarioOptions) (*Table, error) {
 	return scenario.Run(s, opts)
 }
 
-// RunScenarios serves the named scenarios (or all, for ["all"]) on a
-// bounded worker pool; the merged table follows catalog order,
-// byte-identical for any job count.
+// RunScenarios serves the named scenarios (or the non-heavy catalog, for
+// ["all"]) on a bounded worker pool; the merged table follows catalog
+// order, byte-identical for any job count.
 func RunScenarios(names []string, quick bool, seed int64, pool SweepOptions) (*Table, error) {
 	return sweep.RunScenarios(names, quick, seed, pool)
+}
+
+// ScenarioWindows is one (scenario, engine) run's windowed time series.
+type ScenarioWindows = sweep.ScenarioWindows
+
+// RunScenariosStream is RunScenarios through constant-memory streaming
+// sinks — the mode million-request scenarios (megascale) are built for.
+// window > 0 additionally returns each pair's windowed time series in pair
+// order.
+func RunScenariosStream(names []string, quick bool, seed int64, window float64, pool SweepOptions) (*Table, []ScenarioWindows, error) {
+	return sweep.RunScenariosSink(names, quick, seed, true, window, pool)
 }
 
 // Bursty, diurnal, flash-crowd and closed-loop trace generators
@@ -390,6 +459,10 @@ type BenchSuite = bench.Suite
 
 // BenchSchemaVersion identifies the BENCH.json layout this build emits.
 const BenchSchemaVersion = bench.SchemaVersion
+
+// BenchSinkComparison is one sink-mode measurement of the report's
+// exact-vs-streaming section (the recorded O(1)-memory proof).
+type BenchSinkComparison = bench.SinkBench
 
 // RunBench times the canonical scenario suite (and micro-benchmarks) and
 // assembles the perf report.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hetis/internal/engine"
+	"hetis/internal/metrics"
 	"hetis/internal/model"
 	"hetis/internal/scenario"
 	"hetis/internal/sweep"
@@ -26,8 +27,10 @@ import (
 // Options tunes a harness run.
 type Options struct {
 	// Scenarios names the registered scenarios to measure; empty means
-	// every registered scenario. The selection is always sorted, so the
-	// report layout is deterministic regardless of input order.
+	// every suite scenario (scenario.SuiteNames — heavy scenarios like
+	// megascale run when named explicitly). The selection is always
+	// sorted, so the report layout is deterministic regardless of input
+	// order.
 	Scenarios []string
 	// Quick quarters trace durations, like scenario.Options.Quick — the CI
 	// smoke setting.
@@ -35,15 +38,25 @@ type Options struct {
 	// Repeat is how many times each (scenario, engine) pair runs; the best
 	// wall-clock is kept (default 1).
 	Repeat int
+	// Stream measures the suite through streaming sinks (and no trace log)
+	// instead of the default exact recorder, so heavy scenarios stay
+	// cheap. Suites measured with different sinks are not comparable as
+	// baselines.
+	Stream bool
 	// SkipMicro omits the micro-benchmarks (they add a few seconds).
 	SkipMicro bool
+	// SkipSinks omits the exact-vs-streaming sink comparison.
+	SkipSinks bool
+	// SinkScenario names the scenario the sink comparison measures
+	// (default megascale — the scenario built to show the bound).
+	SinkScenario string
 }
 
 // Run executes the harness and assembles the report.
 func Run(opts Options) (*Report, error) {
 	names := append([]string(nil), opts.Scenarios...)
 	if len(names) == 0 {
-		names = scenario.Names()
+		names = scenario.SuiteNames()
 	}
 	sort.Strings(names)
 	repeat := opts.Repeat
@@ -58,6 +71,7 @@ func Run(opts Options) (*Report, error) {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Quick:     opts.Quick,
+		Stream:    opts.Stream,
 	}
 
 	cache := sweep.NewCache()
@@ -67,7 +81,7 @@ func Run(opts Options) (*Report, error) {
 			return nil, err
 		}
 		spec = scenario.Prepare(spec, opts.Quick)
-		results, err := measureScenario(spec, repeat, cache)
+		results, err := measureScenario(spec, repeat, opts.Stream, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -87,11 +101,27 @@ func Run(opts Options) (*Report, error) {
 	if !opts.SkipMicro {
 		rep.Micro = RunMicro()
 	}
+	if !opts.SkipSinks {
+		name := opts.SinkScenario
+		if name == "" {
+			name = "megascale"
+		}
+		spec, err := scenario.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		spec = scenario.Prepare(spec, opts.Quick)
+		rep.Sinks, err = measureSinks(spec, cache)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
 }
 
-// measureScenario times every engine the spec names on the spec's trace.
-func measureScenario(spec scenario.Spec, repeat int, cache *sweep.Cache) ([]ScenarioBench, error) {
+// measureScenario times every engine the spec names on the spec's trace,
+// through the exact recorder or (stream) a fresh streaming sink per run.
+func measureScenario(spec scenario.Spec, repeat int, stream bool, cache *sweep.Cache) ([]ScenarioBench, error) {
 	key := sweep.TraceKey{Scenario: spec.Name, Duration: spec.Duration, Seed: spec.Seed}
 	reqs, err := cache.Trace(key)
 	if err != nil {
@@ -113,12 +143,23 @@ func measureScenario(spec scenario.Spec, repeat int, cache *sweep.Cache) ([]Scen
 
 	var out []ScenarioBench
 	for _, engName := range spec.Engines {
-		eng, err := cache.BuildEngine(engName, cfg, key)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s/%s: %w", spec.Name, engName, err)
-		}
 		sb := ScenarioBench{Scenario: spec.Name, Engine: engName}
+		if stream {
+			sb.Sink = "streaming"
+		}
 		for rep := 0; rep < repeat; rep++ {
+			// Streaming sinks accumulate across runs, so each repeat gets a
+			// fresh one (and therefore a fresh engine; construction stays
+			// outside the measured window and the cache keeps it cheap).
+			runCfg := cfg
+			if stream {
+				runCfg.Sink = metrics.NewStreamingSink(spec.SLO)
+				runCfg.NoTrace = true
+			}
+			eng, err := cache.BuildEngine(engName, runCfg, key)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%s: %w", spec.Name, engName, err)
+			}
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			t0 := time.Now()

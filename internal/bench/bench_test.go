@@ -11,7 +11,7 @@ import (
 // TestRunQuickSteady measures one scenario at quick scale and sanity-checks
 // every reported field.
 func TestRunQuickSteady(t *testing.T) {
-	rep, err := Run(Options{Scenarios: []string{"steady"}, Quick: true, SkipMicro: true})
+	rep, err := Run(Options{Scenarios: []string{"steady"}, Quick: true, SkipMicro: true, SkipSinks: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestRunQuickSteady(t *testing.T) {
 // lists scenarios in sorted name order whatever order the caller gives,
 // and defaults to the full registry.
 func TestScenarioSelectionDeterministic(t *testing.T) {
-	rep, err := Run(Options{Scenarios: []string{"steady", "bursty"}, Quick: true, SkipMicro: true})
+	rep, err := Run(Options{Scenarios: []string{"steady", "bursty"}, Quick: true, SkipMicro: true, SkipSinks: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestReportRoundTrip(t *testing.T) {
 // TestRunUnknownScenario surfaces registry misses instead of measuring a
 // partial suite.
 func TestRunUnknownScenario(t *testing.T) {
-	if _, err := Run(Options{Scenarios: []string{"nope"}, Quick: true, SkipMicro: true}); err == nil {
+	if _, err := Run(Options{Scenarios: []string{"nope"}, Quick: true, SkipMicro: true, SkipSinks: true}); err == nil {
 		t.Fatal("expected unknown-scenario error")
 	}
 }
@@ -137,6 +137,9 @@ func TestRunMicro(t *testing.T) {
 		"dispatch/admission-lp",
 		"dispatch/ideal-attn-lp-128",
 		"kvcache/alloc-extend-free",
+		"metrics/summarize-3x-10k",
+		"metrics/summaries-bulk-10k",
+		"metrics/streaming-observe",
 	}
 	if len(micros) != len(want) {
 		t.Fatalf("got %d micro results want %d", len(micros), len(want))
@@ -164,5 +167,36 @@ func TestSamePairs(t *testing.T) {
 	}
 	if SamePairs(a, &Suite{}) || SamePairs(nil, b) {
 		t.Error("size mismatch / nil must not compare equal")
+	}
+}
+
+// TestSinkComparison checks the exact-vs-streaming section's structure:
+// both modes measured on the same scenario and engine, identical event
+// sequences, and the streaming side resident-memory no worse than exact.
+func TestSinkComparison(t *testing.T) {
+	rep, err := Run(Options{
+		Scenarios:    []string{"steady"},
+		Quick:        true,
+		SkipMicro:    true,
+		SinkScenario: "steady",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sinks) != 2 {
+		t.Fatalf("want 2 sink measurements, got %d", len(rep.Sinks))
+	}
+	exact, stream := rep.Sinks[0], rep.Sinks[1]
+	if exact.Sink != "exact" || stream.Sink != "streaming" {
+		t.Fatalf("sink modes %q/%q, want exact/streaming", exact.Sink, stream.Sink)
+	}
+	if exact.Scenario != stream.Scenario || exact.Engine != stream.Engine {
+		t.Errorf("sink comparison measured different runs: %+v vs %+v", exact, stream)
+	}
+	if exact.Events != stream.Events || exact.Completed != stream.Completed {
+		t.Errorf("sink choice changed the simulation: %+v vs %+v", exact, stream)
+	}
+	if exact.WallSeconds <= 0 || stream.WallSeconds <= 0 {
+		t.Errorf("empty wall measurements: %+v vs %+v", exact, stream)
 	}
 }

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"hetis/internal/engine"
+	"hetis/internal/metrics"
+	"hetis/internal/model"
+	"hetis/internal/scenario"
+)
+
+// megascaleRun serves the megascale scenario at a reduced duration through
+// the given sink, returning the result and the run's allocs/event. The
+// scenario's own shape (diurnal wave, code-completion mix, vllm) is kept;
+// only the duration — and therefore the trace length — scales.
+func megascaleRun(t *testing.T, duration float64, sink metrics.Sink) (*engine.Result, float64) {
+	t.Helper()
+	spec, err := scenario.ByName("megascale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.WithDefaults()
+	spec.Duration = duration
+	reqs, err := spec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.ByName(spec.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := scenario.ClusterByName(spec.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.DefaultConfig(m, cluster)
+	cfg.Sink = sink
+	if sink != nil {
+		cfg.NoTrace = true
+	}
+	eng, err := engine.NewByName(spec.Engines[0], cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := eng.Run(reqs, scenario.MeasurementHorizon(spec.Duration))
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(reqs) {
+		t.Fatalf("megascale at duration %g completed %d/%d", duration, res.Completed, len(reqs))
+	}
+	return res, float64(after.Mallocs-before.Mallocs) / float64(res.Events)
+}
+
+// TestMegascaleStreamingFlatAllocs is the bench-backed O(1)-memory
+// assertion: quadrupling the megascale trace must not grow the streaming
+// sink's allocs/event (flat within noise), and the absolute rate must stay
+// under a pinned budget, so a regression that reintroduces per-request
+// measurement allocation fails here before it lands.
+func TestMegascaleStreamingFlatAllocs(t *testing.T) {
+	slo := metrics.SLOTarget{TTFT: 1.5, TPOT: 0.1}
+	_, small := megascaleRun(t, 1500, metrics.NewStreamingSink(slo))
+	_, large := megascaleRun(t, 6000, metrics.NewStreamingSink(slo))
+	t.Logf("allocs/event: %.2f at 1500s, %.2f at 6000s", small, large)
+	if large > small*1.3 {
+		t.Errorf("allocs/event grew with trace length: %.2f -> %.2f (4x trace)", small, large)
+	}
+	// The pinned budget: the decode loop itself runs ~5 allocs/event; the
+	// streaming sink must stay amortized-O(1) on top of that.
+	const budget = 10.0
+	if large > budget {
+		t.Errorf("allocs/event %.2f exceeds the pinned budget %.1f", large, budget)
+	}
+}
+
+// TestMegascaleStreamingAccuracy is the acceptance bound at scale: on a
+// >100k-request slice of megascale, streaming p50/p95/p99 of all three
+// latency metrics must land within 1% relative error of the exact
+// summaries.
+func TestMegascaleStreamingAccuracy(t *testing.T) {
+	slo := metrics.SLOTarget{TTFT: 1.5, TPOT: 0.1}
+	sink := metrics.NewStreamingSink(slo)
+	_, _ = megascaleRun(t, 6000, sink)
+	exactRes, _ := megascaleRun(t, 6000, nil)
+
+	got := sink.Snapshot()
+	want := exactRes.Recorder.Snapshot()
+	if got.Count != want.Count {
+		t.Fatalf("streaming observed %d records, exact %d", got.Count, want.Count)
+	}
+	for _, m := range []struct {
+		name      string
+		got, want metrics.Summary
+	}{{"TTFT", got.TTFT, want.TTFT}, {"TPOT", got.TPOT, want.TPOT}, {"NormLat", got.NormLat, want.NormLat}} {
+		for _, p := range []struct {
+			name      string
+			got, want float64
+		}{{"p50", m.got.P50, m.want.P50}, {"p95", m.got.P95, m.want.P95}, {"p99", m.got.P99, m.want.P99}} {
+			if p.want <= 0 {
+				continue
+			}
+			if e := math.Abs(p.got-p.want) / p.want; e > 0.01 {
+				t.Errorf("%s %s: streaming %.6g vs exact %.6g (rel err %.3f%% > 1%%)",
+					m.name, p.name, p.got, p.want, 100*e)
+			}
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"math/rand"
 	"testing"
 
 	"hetis/internal/dispatch"
 	"hetis/internal/hardware"
 	"hetis/internal/kvcache"
+	"hetis/internal/metrics"
 	"hetis/internal/model"
 	"hetis/internal/profile"
 	"hetis/internal/sim"
@@ -24,6 +26,71 @@ func RunMicro() []MicroBench {
 		microResult("dispatch/admission-lp", benchDispatchLP),
 		microResult("dispatch/ideal-attn-lp-128", benchIdealAttn),
 		microResult("kvcache/alloc-extend-free", benchKVCache),
+		microResult("metrics/summarize-3x-10k", benchSummarizeSeparate),
+		microResult("metrics/summaries-bulk-10k", benchSummariesBulk),
+		microResult("metrics/streaming-observe", benchStreamingObserve),
+	}
+}
+
+// microRecords builds a deterministic 10k-record set for the summary
+// micros.
+func microRecords() *metrics.Recorder {
+	rng := rand.New(rand.NewSource(42))
+	rec := metrics.NewRecorder()
+	for i := 0; i < 10000; i++ {
+		ttft := 0.05 + rng.ExpFloat64()*0.2
+		rec.Add(metrics.RequestRecord{
+			ID:         int64(i),
+			FirstToken: ttft,
+			FinishedAt: ttft + rng.Float64()*4,
+			PromptLen:  300,
+			OutputLen:  1 + rng.Intn(256),
+		})
+	}
+	return rec
+}
+
+// benchSummarizeSeparate is the historical path: three independent summary
+// calls, each walking the records and double-copying the values.
+func benchSummarizeSeparate(b *testing.B) {
+	rec := microRecords()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rec.TTFTSummary()
+		_ = rec.TPOTSummary()
+		_ = rec.NormLatencySummary()
+	}
+}
+
+// benchSummariesBulk is the bulk path: one record walk, one allocation,
+// in-place sorts.
+func benchSummariesBulk(b *testing.B) {
+	rec := microRecords()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = rec.Summaries()
+	}
+}
+
+// benchStreamingObserve measures the per-record cost of the streaming
+// sink's hot path (three sketch inserts plus the SLO check) — the
+// number multiplied by a million on megascale traces.
+func benchStreamingObserve(b *testing.B) {
+	sink := metrics.NewStreamingSink(metrics.SLOTarget{TTFT: 1.5, TPOT: 0.1})
+	rng := rand.New(rand.NewSource(42))
+	recs := make([]metrics.RequestRecord, 4096)
+	for i := range recs {
+		ttft := 0.05 + rng.ExpFloat64()*0.2
+		recs[i] = metrics.RequestRecord{
+			ID: int64(i), FirstToken: ttft, FinishedAt: ttft + rng.Float64()*4, OutputLen: 1 + rng.Intn(256),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Observe(recs[i%len(recs)])
 	}
 }
 

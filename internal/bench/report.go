@@ -7,14 +7,22 @@ import (
 )
 
 // SchemaVersion identifies the BENCH.json layout. Consumers (CI trend
-// jobs, plots) must check it before reading fields.
-const SchemaVersion = "hetis-bench/1"
+// jobs, plots) must check it before reading fields. Version 2 added the
+// sink-comparison section and the suite's sink mode; version 1 documents
+// remain readable (the added fields are absent).
+const SchemaVersion = "hetis-bench/2"
+
+// legacySchemas are older layouts ReadFile still accepts.
+var legacySchemas = map[string]bool{"hetis-bench/1": true}
 
 // ScenarioBench is one (scenario, engine) measurement of the canonical
 // suite.
 type ScenarioBench struct {
 	Scenario string `json:"scenario"`
 	Engine   string `json:"engine"`
+	// Sink is the measurement mode ("streaming"; empty means exact, the
+	// default and the only mode schema v1 had).
+	Sink string `json:"sink,omitempty"`
 
 	// WallSeconds is the best-of-Repeat serving wall-clock of Engine.Run
 	// (trace generation and engine construction excluded).
@@ -77,9 +85,17 @@ type Report struct {
 	// Quick records whether the suite ran at reduced scale; quick and
 	// full-scale numbers are not comparable.
 	Quick bool `json:"quick"`
+	// Stream records whether the suite measured through streaming sinks;
+	// exact and streaming suites are not comparable either.
+	Stream bool `json:"stream,omitempty"`
 
 	Suite Suite        `json:"suite"`
 	Micro []MicroBench `json:"micro,omitempty"`
+	// Sinks is the exact-vs-streaming comparison on the sink scenario
+	// (megascale by default): same trace, same engine, the measurement
+	// path swapped — the recorded proof that streaming measurement memory
+	// does not grow with trace length.
+	Sinks []SinkBench `json:"sinks,omitempty"`
 
 	// Baseline carries a reference suite (recorded pre-optimization with
 	// the same harness); SpeedupVsBaseline is
@@ -133,7 +149,7 @@ func ReadFile(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
 	}
-	if r.Schema != SchemaVersion {
+	if r.Schema != SchemaVersion && !legacySchemas[r.Schema] {
 		return nil, fmt.Errorf("bench: %s has schema %q, this build reads %q", path, r.Schema, SchemaVersion)
 	}
 	return &r, nil

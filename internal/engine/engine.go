@@ -66,6 +66,19 @@ type Config struct {
 	// Seed drives any randomized tie-breaking (none today; kept for
 	// forward compatibility).
 	Seed int64
+
+	// Sink receives every finished request's metrics.RequestRecord as the
+	// run emits it. Nil (the default) stores records exactly in a fresh
+	// metrics.Recorder per run — the behaviour golden traces pin. Injecting
+	// a streaming sink (metrics.StreamingSink, WindowedSeries, TenantMux,
+	// or a Tee of them) bounds measurement memory for million-request
+	// traces. A non-nil Sink is per-run state: reuse across runs
+	// accumulates.
+	Sink metrics.Sink
+	// NoTrace disables the per-event structured trace log; Result.Trace is
+	// nil (trace.Log is nil-safe) and the run stops holding O(events)
+	// memory for it. Large-scale streaming runs want this on.
+	NoTrace bool
 }
 
 // DefaultConfig returns the standard engine configuration for a model on a
@@ -131,9 +144,17 @@ func (c Config) Validate() error {
 
 // Result is what an engine run produces.
 type Result struct {
-	Engine   string
+	Engine string
+	// Sink is the measurement sink the run fed — the injected Config.Sink,
+	// or the run's own exact recorder by default. Always non-nil.
+	Sink metrics.Sink
+	// Recorder is the exact record store when the run measured exactly
+	// (the default); nil when a custom streaming sink was injected. Exact
+	// consumers (golden tables, paper experiments) read it; sink-aware
+	// consumers use Sink.Snapshot().
 	Recorder *metrics.Recorder
-	Trace    *trace.Log
+	// Trace is the structured event log (nil with Config.NoTrace).
+	Trace *trace.Log
 
 	// CacheCapacity is the KV space the deployment can hold (Fig. 11).
 	CacheCapacity int64
@@ -250,9 +271,31 @@ func scheduleArrivals(s *sim.Simulator, reqs []workload.Request, admit func(s *s
 	}
 }
 
-// recordFinish closes out a request on the recorder.
-func recordFinish(rec *metrics.Recorder, r *request, now float64) {
-	rec.Add(metrics.RequestRecord{
+// newRunSink resolves a run's measurement sink: the injected Config.Sink,
+// or a fresh exact recorder. The second return is the recorder view when
+// the sink stores records exactly (nil otherwise) — what Result.Recorder
+// carries for exact consumers.
+func (c Config) newRunSink() (metrics.Sink, *metrics.Recorder) {
+	if c.Sink != nil {
+		rec, _ := c.Sink.(*metrics.Recorder)
+		return c.Sink, rec
+	}
+	rec := metrics.NewRecorder()
+	return rec, rec
+}
+
+// newTraceLog resolves a run's event log: nil under NoTrace (trace.Log
+// methods are nil-safe no-ops, so engines trace unconditionally).
+func (c Config) newTraceLog() *trace.Log {
+	if c.NoTrace {
+		return nil
+	}
+	return &trace.Log{}
+}
+
+// recordFinish closes out a request on the run's sink.
+func recordFinish(sink metrics.Sink, r *request, now float64) {
+	sink.Observe(metrics.RequestRecord{
 		ID:         r.wl.ID,
 		ArrivalAt:  r.wl.ArrivalAt,
 		FirstToken: r.firstTok,

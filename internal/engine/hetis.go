@@ -255,10 +255,12 @@ func (h *Hetis) newInstance(idx int, in parallelizer.Instance, res *Result) (*he
 // Run implements Engine.
 func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	reqs = workload.Truncate(reqs, h.cfg.Model.MaxSeqLen) // clamp to the context window
+	sink, rec := h.cfg.newRunSink()
 	res := &Result{
 		Engine:        h.Name(),
-		Recorder:      metrics.NewRecorder(),
-		Trace:         &trace.Log{},
+		Sink:          sink,
+		Recorder:      rec,
+		Trace:         h.cfg.newTraceLog(),
 		CacheCapacity: h.CacheCapacity(),
 		HeadSeries:    map[hardware.DeviceID]*metrics.Series{},
 		CacheSeries:   map[hardware.DeviceID]*metrics.Series{},
@@ -839,7 +841,7 @@ func (inst *hetisInstance) finish(s *sim.Simulator, r *request) {
 	inst.kvFree(r.wl.ID)
 	delete(inst.byID, r.wl.ID)
 	delete(inst.lastMig, r.wl.ID)
-	recordFinish(inst.res.Recorder, r, s.Now())
+	recordFinish(inst.res.Sink, r, s.Now())
 	inst.res.Completed++
 	inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
 }

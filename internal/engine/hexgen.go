@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"hetis/internal/metrics"
 	"hetis/internal/parallelizer"
 	"hetis/internal/perf"
 	"hetis/internal/sim"
@@ -47,10 +46,12 @@ func (h *HexGen) Stages() []parallelizer.Stage { return h.pipe.stages }
 // Run implements Engine.
 func (h *HexGen) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	reqs = workload.Truncate(reqs, h.cfg.Model.MaxSeqLen) // clamp to the context window
+	sink, rec := h.cfg.newRunSink()
 	res := &Result{
 		Engine:        h.Name(),
-		Recorder:      metrics.NewRecorder(),
-		Trace:         &trace.Log{},
+		Sink:          sink,
+		Recorder:      rec,
+		Trace:         h.cfg.newTraceLog(),
 		CacheCapacity: h.CacheCapacity(),
 	}
 	iters := moduleSeriesCap(reqs)
@@ -230,7 +231,7 @@ func (rt *staticRuntime) finish(s *sim.Simulator, r *request) {
 		rt.pipe.usedTokens = 0
 	}
 	delete(rt.byID, r.wl.ID)
-	recordFinish(rt.res.Recorder, r, s.Now())
+	recordFinish(rt.res.Sink, r, s.Now())
 	rt.res.Completed++
 	rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"hetis/internal/hardware"
-	"hetis/internal/metrics"
 	"hetis/internal/parallelizer"
 	"hetis/internal/perf"
 	"hetis/internal/sim"
@@ -77,10 +76,12 @@ func (sw *Splitwise) DecodeStages() []parallelizer.Stage { return sw.decode.stag
 // Run implements Engine.
 func (sw *Splitwise) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	reqs = workload.Truncate(reqs, sw.cfg.Model.MaxSeqLen) // clamp to the context window
+	sink, rec := sw.cfg.newRunSink()
 	res := &Result{
 		Engine:        sw.Name(),
-		Recorder:      metrics.NewRecorder(),
-		Trace:         &trace.Log{},
+		Sink:          sink,
+		Recorder:      rec,
+		Trace:         sw.cfg.newTraceLog(),
 		CacheCapacity: sw.CacheCapacity(),
 	}
 	iters := moduleSeriesCap(reqs)
@@ -178,7 +179,7 @@ func (rt *splitwiseRuntime) prefillStep(s *sim.Simulator) {
 			rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindPrefill, Request: r.wl.ID, Value: float64(r.restartCtx)})
 			if r.done() {
 				rt.inPrefill -= int64(r.restartCtx)
-				recordFinish(rt.res.Recorder, r, s.Now())
+				recordFinish(rt.res.Sink, r, s.Now())
 				rt.res.Completed++
 				continue
 			}
@@ -270,7 +271,7 @@ func (rt *splitwiseRuntime) afterDecode(s *sim.Simulator) {
 		dec.usedTokens++
 		if r.done() {
 			dec.usedTokens -= int64(r.contextLen())
-			recordFinish(rt.res.Recorder, r, s.Now())
+			recordFinish(rt.res.Sink, r, s.Now())
 			rt.res.Completed++
 			rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
 			continue

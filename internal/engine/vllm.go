@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"hetis/internal/hardware"
-	"hetis/internal/metrics"
 	"hetis/internal/parallelizer"
 	"hetis/internal/perf"
 	"hetis/internal/sim"
@@ -59,10 +58,12 @@ func (v *VLLM) Devices() []hardware.DeviceID {
 // Run implements Engine, reusing the colocated static runtime.
 func (v *VLLM) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	reqs = workload.Truncate(reqs, v.cfg.Model.MaxSeqLen)
+	sink, rec := v.cfg.newRunSink()
 	res := &Result{
 		Engine:        v.Name(),
-		Recorder:      metrics.NewRecorder(),
-		Trace:         &trace.Log{},
+		Sink:          sink,
+		Recorder:      rec,
+		Trace:         v.cfg.newTraceLog(),
 		CacheCapacity: v.CacheCapacity(),
 	}
 	iters := moduleSeriesCap(reqs)

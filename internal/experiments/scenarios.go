@@ -15,5 +15,7 @@ import (
 // pooled catalog runner so `-exp scenarios` and `-scenario all` share one
 // implementation (and its quick/seed semantics).
 func Scenarios(opts Options) (*metrics.Table, error) {
-	return sweep.RunScenarios(scenario.Names(), opts.Quick, opts.Seed, sweep.Options{})
+	// SuiteNames: heavy scenarios (megascale) are streaming-sink workloads,
+	// not experiment tables; they run when named explicitly.
+	return sweep.RunScenarios(scenario.SuiteNames(), opts.Quick, opts.Seed, sweep.Options{})
 }

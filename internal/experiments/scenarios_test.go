@@ -11,16 +11,20 @@ func TestScenariosExperiment(t *testing.T) {
 	if got, want := st.header[0], "Scenario"; got != want {
 		t.Fatalf("header[0] = %q, want %q", got, want)
 	}
-	// Every registered scenario contributes at least one row per engine,
-	// in catalog order.
+	// Every suite scenario contributes at least one row per engine, in
+	// catalog order; heavy scenarios (megascale) stay out of the
+	// experiment table.
 	seen := map[string]int{}
 	for _, row := range st.rows {
 		seen[row[0]]++
 	}
-	for _, name := range scenario.Names() {
+	for _, name := range scenario.SuiteNames() {
 		if seen[name] < 3 {
 			t.Errorf("scenario %s has %d rows, want >= 3 (one per engine)", name, seen[name])
 		}
+	}
+	if seen["megascale"] != 0 {
+		t.Errorf("heavy scenario megascale leaked into the experiment table (%d rows)", seen["megascale"])
 	}
 	// Attainment is a percentage.
 	attainCol := st.col("Attain(%)")

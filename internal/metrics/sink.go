@@ -1,0 +1,234 @@
+// The sink layer: engines push finished-request records into a Sink
+// instead of materializing them, so measurement cost is chosen by the
+// caller — store everything (ExactRecorder, the default, byte-stable for
+// golden traces), stream into constant-memory sketches (StreamingSink),
+// bucket into time windows (WindowedSeries), or fan out per tenant
+// (TenantMux). Sinks compose with Tee.
+
+package metrics
+
+import "sort"
+
+// Sink consumes finished-request records as the engines emit them and can
+// produce an aggregate Snapshot at any point. Implementations are not
+// required to be safe for concurrent Observe calls: each engine run feeds
+// exactly one goroutine.
+type Sink interface {
+	// Observe records one finished request.
+	Observe(RequestRecord)
+	// Snapshot summarizes everything observed so far.
+	Snapshot() Snapshot
+}
+
+// Snapshot is the uniform aggregate view every sink can produce: counts,
+// SLO attainment (against the sink's configured SLO; sinks without one
+// count every record as attained, matching the zero SLOTarget), and the
+// three standard latency summaries.
+type Snapshot struct {
+	Count    int
+	Attained int
+	TTFT     Summary
+	TPOT     Summary
+	NormLat  Summary
+}
+
+// Attainment is the attained fraction (0 when nothing was observed).
+func (s Snapshot) Attainment() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Attained) / float64(s.Count)
+}
+
+// Goodput is the rate of attained completions over the horizon, in
+// requests per second.
+func (s Snapshot) Goodput(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(s.Attained) / horizon
+}
+
+// ExactRecorder is the store-everything Sink: the Recorder under its
+// sink-architecture name. It keeps every RequestRecord, so summaries are
+// exact and golden traces stay byte-identical, at O(n) memory.
+type ExactRecorder = Recorder
+
+// NewExactRecorder returns an empty exact sink; slo tunes what Snapshot
+// counts as attained (the zero SLOTarget attains everything).
+func NewExactRecorder(slo SLOTarget) *ExactRecorder {
+	return &Recorder{slo: slo}
+}
+
+// Observe implements Sink.
+func (c *Recorder) Observe(r RequestRecord) { c.Add(r) }
+
+// Snapshot implements Sink, using the bulk Summaries path.
+func (c *Recorder) Snapshot() Snapshot {
+	ttft, tpot, norm := c.Summaries()
+	return Snapshot{
+		Count:    len(c.records),
+		Attained: c.Attained(c.slo),
+		TTFT:     ttft,
+		TPOT:     tpot,
+		NormLat:  norm,
+	}
+}
+
+// StreamStat tracks one metric's running aggregate in constant memory:
+// exact count/mean/min/max plus a relative-error quantile sketch.
+type StreamStat struct {
+	count    int
+	sum      float64
+	min, max float64
+	sketch   *QuantileSketch
+}
+
+func newStreamStat(alpha float64) *StreamStat {
+	return &StreamStat{sketch: newQuantileSketch(alpha)}
+}
+
+// Observe absorbs one value.
+func (s *StreamStat) Observe(v float64) {
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+	s.sketch.Observe(v)
+}
+
+// Summary reports the running aggregate; Mean/Min/Max/Count are exact,
+// the percentiles carry the sketch's relative-error bound.
+func (s *StreamStat) Summary() Summary {
+	if s.count == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: s.count,
+		Mean:  s.sum / float64(s.count),
+		Min:   s.min,
+		Max:   s.max,
+		P50:   s.sketch.Quantile(0.50),
+		P95:   s.sketch.Quantile(0.95),
+		P99:   s.sketch.Quantile(0.99),
+	}
+}
+
+// StreamingSink summarizes the record stream in O(1) memory per request:
+// running mean/min/max/count plus quantile sketches for TTFT, TPOT, and
+// normalized latency, and an exact attainment counter against its SLO.
+// Memory is bounded by the sketches' bucket counts (data dynamic range),
+// never by the trace length.
+type StreamingSink struct {
+	slo      SLOTarget
+	count    int
+	attained int
+	ttft     *StreamStat
+	tpot     *StreamStat
+	norm     *StreamStat
+}
+
+// NewStreamingSink returns an empty streaming sink measuring attainment
+// against slo, with DefaultSketchAlpha quantile accuracy.
+func NewStreamingSink(slo SLOTarget) *StreamingSink {
+	return &StreamingSink{
+		slo:  slo,
+		ttft: newStreamStat(0),
+		tpot: newStreamStat(0),
+		norm: newStreamStat(0),
+	}
+}
+
+// Observe implements Sink.
+func (s *StreamingSink) Observe(r RequestRecord) {
+	s.count++
+	if s.slo.Attained(r) {
+		s.attained++
+	}
+	s.ttft.Observe(r.TTFT())
+	s.tpot.Observe(r.TPOT())
+	s.norm.Observe(r.NormLatency())
+}
+
+// Snapshot implements Sink.
+func (s *StreamingSink) Snapshot() Snapshot {
+	return Snapshot{
+		Count:    s.count,
+		Attained: s.attained,
+		TTFT:     s.ttft.Summary(),
+		TPOT:     s.tpot.Summary(),
+		NormLat:  s.norm.Summary(),
+	}
+}
+
+// SLO reports the objective the sink measures attainment against.
+func (s *StreamingSink) SLO() SLOTarget { return s.slo }
+
+// Tee fans every record out to several sinks; Snapshot delegates to the
+// first (primary) sink. It composes the pipeline pieces — e.g. a TenantMux
+// for the tables plus a WindowedSeries for the dynamic plots.
+type Tee struct {
+	sinks []Sink
+}
+
+// NewTee builds a tee over primary plus any further sinks.
+func NewTee(primary Sink, rest ...Sink) *Tee {
+	return &Tee{sinks: append([]Sink{primary}, rest...)}
+}
+
+// Observe implements Sink.
+func (t *Tee) Observe(r RequestRecord) {
+	for _, s := range t.sinks {
+		s.Observe(r)
+	}
+}
+
+// Snapshot implements Sink via the primary sink.
+func (t *Tee) Snapshot() Snapshot { return t.sinks[0].Snapshot() }
+
+// TenantMux fans records out per tenant for multi-tenant SLO attribution:
+// every record feeds the aggregate sink and a per-tenant sink created on
+// demand by the factory. Memory is one sub-sink per distinct tenant —
+// independent of trace length when the sub-sinks are streaming.
+type TenantMux struct {
+	agg      Sink
+	make     func(tenant string) Sink
+	byTenant map[string]Sink
+}
+
+// NewTenantMux builds a mux over the aggregate sink; make constructs the
+// per-tenant sinks lazily.
+func NewTenantMux(agg Sink, make func(tenant string) Sink) *TenantMux {
+	return &TenantMux{agg: agg, make: make, byTenant: map[string]Sink{}}
+}
+
+// Observe implements Sink.
+func (m *TenantMux) Observe(r RequestRecord) {
+	m.agg.Observe(r)
+	sub, ok := m.byTenant[r.Tenant]
+	if !ok {
+		sub = m.make(r.Tenant)
+		m.byTenant[r.Tenant] = sub
+	}
+	sub.Observe(r)
+}
+
+// Snapshot implements Sink via the aggregate sink.
+func (m *TenantMux) Snapshot() Snapshot { return m.agg.Snapshot() }
+
+// Tenants lists the tenant names seen so far, sorted ascending.
+func (m *TenantMux) Tenants() []string {
+	out := make([]string, 0, len(m.byTenant))
+	for t := range m.byTenant {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tenant returns the sub-sink for a tenant (nil if never seen).
+func (m *TenantMux) Tenant(name string) Sink { return m.byTenant[name] }

@@ -96,14 +96,15 @@ func (c *Recorder) PerTenant(slo SLOTarget, horizon float64) []TenantStats {
 	for _, name := range c.Tenants() {
 		recs := byTenant[name]
 		sub := Recorder{records: recs}
+		ttft, tpot, norm := sub.Summaries()
 		out = append(out, TenantStats{
 			Tenant:     name,
 			Count:      len(recs),
 			Attainment: sub.Attainment(slo),
 			Goodput:    sub.Goodput(slo, horizon),
-			TTFT:       sub.TTFTSummary(),
-			TPOT:       sub.TPOTSummary(),
-			NormLat:    sub.NormLatencySummary(),
+			TTFT:       ttft,
+			TPOT:       tpot,
+			NormLat:    norm,
 		})
 	}
 	return out

@@ -1,0 +1,157 @@
+// Windowed time series: the streaming counterpart of replaying a stored
+// trace into per-interval plots. Completions land in fixed-width time
+// buckets as they are observed, so the dynamic-behaviour views (diurnal
+// waves, flash-crowd spikes) come out of a million-request run without the
+// run ever holding a per-request record.
+
+package metrics
+
+import "math"
+
+// WindowStat is one time bucket of a WindowedSeries.
+type WindowStat struct {
+	// Start is the bucket's left edge in simulated seconds; the bucket
+	// covers [Start, Start+window).
+	Start float64
+	// Completions counts requests finished in the window; Attained those
+	// meeting the series' SLO.
+	Completions int
+	Attained    int
+	// Goodput is attained completions per second of window.
+	Goodput float64
+	// TTFTP95 is the window's p95 time-to-first-token (sketch-estimated);
+	// NormLatP95 the window's p95 normalized latency.
+	TTFTP95    float64
+	NormLatP95 float64
+}
+
+// WindowedSeries buckets completions into fixed-width time windows keyed
+// by finish time, tracking per-window completions, SLO goodput, and p95
+// latencies. Memory is O(horizon/window) — bounded by simulated time, not
+// trace length. Records are expected in nondecreasing finish order (the
+// event loop is monotonic); a late straggler's window is clamped to the
+// open one.
+//
+// WindowedSeries is a series producer, not an aggregate summarizer: its
+// Snapshot carries exact whole-run counts and attainment but zero latency
+// summaries (no per-record aggregate sketches are paid for). Compose it
+// behind a StreamingSink via Tee when the run also needs whole-run
+// percentiles — which is exactly what the scenario streaming pipeline
+// does.
+type WindowedSeries struct {
+	window   float64
+	slo      SLOTarget
+	count    int
+	attained int
+
+	done   []WindowStat
+	curIdx int
+	cur    *windowAccum
+}
+
+// windowAccum is the open bucket under construction.
+type windowAccum struct {
+	completions int
+	attained    int
+	ttft        *QuantileSketch
+	norm        *QuantileSketch
+}
+
+func newWindowAccum() *windowAccum {
+	return &windowAccum{ttft: newQuantileSketch(0), norm: newQuantileSketch(0)}
+}
+
+// NewWindowedSeries returns an empty series with the given bucket width in
+// simulated seconds (width <= 0 takes 1s) and SLO.
+func NewWindowedSeries(window float64, slo SLOTarget) *WindowedSeries {
+	if window <= 0 {
+		window = 1
+	}
+	return &WindowedSeries{window: window, slo: slo}
+}
+
+// Window reports the bucket width in seconds.
+func (w *WindowedSeries) Window() float64 { return w.window }
+
+// Observe implements Sink.
+func (w *WindowedSeries) Observe(r RequestRecord) {
+	w.count++
+	attained := w.slo.Attained(r)
+	if attained {
+		w.attained++
+	}
+	idx := int(math.Floor(r.FinishedAt / w.window))
+	if idx < 0 {
+		idx = 0
+	}
+	if w.cur == nil {
+		w.curIdx = idx
+		w.cur = newWindowAccum()
+	}
+	if idx > w.curIdx {
+		// Close the open bucket, then emit zero rows through any gap so the
+		// series stays contiguous for plotting — without building (and
+		// immediately discarding) sketch accumulators for empty buckets.
+		w.done = append(w.done, w.finalize(w.curIdx, w.cur))
+		for g := w.curIdx + 1; g < idx; g++ {
+			w.done = append(w.done, WindowStat{Start: float64(g) * w.window})
+		}
+		w.curIdx = idx
+		w.cur = newWindowAccum()
+	}
+	w.cur.completions++
+	if attained {
+		w.cur.attained++
+	}
+	w.cur.ttft.Observe(r.TTFT())
+	w.cur.norm.Observe(r.NormLatency())
+}
+
+func (w *WindowedSeries) finalize(idx int, a *windowAccum) WindowStat {
+	st := WindowStat{
+		Start:       float64(idx) * w.window,
+		Completions: a.completions,
+		Attained:    a.attained,
+		Goodput:     float64(a.attained) / w.window,
+	}
+	if a.completions > 0 {
+		st.TTFTP95 = a.ttft.Quantile(0.95)
+		st.NormLatP95 = a.norm.Quantile(0.95)
+	}
+	return st
+}
+
+// Snapshot implements Sink: exact whole-run count and attainment, zero
+// latency summaries (see the type comment — pair with a StreamingSink for
+// those).
+func (w *WindowedSeries) Snapshot() Snapshot {
+	return Snapshot{Count: w.count, Attained: w.attained}
+}
+
+// Windows returns the contiguous bucket series including the open bucket;
+// the receiver stays usable for further Observe calls.
+func (w *WindowedSeries) Windows() []WindowStat {
+	out := append([]WindowStat(nil), w.done...)
+	if w.cur != nil {
+		out = append(out, w.finalize(w.curIdx, w.cur))
+	}
+	return out
+}
+
+// WindowsHeader is the column layout of Table renderings of a series.
+var WindowsHeader = []string{
+	"Start(s)", "Completions", "Goodput(req/s)", "Attain(%)", "TTFT-p95(s)", "NormLat-p95(s/tok)",
+}
+
+// Table renders the series for CLI output.
+func (w *WindowedSeries) Table() *Table {
+	tab := &Table{Header: WindowsHeader}
+	for _, st := range w.Windows() {
+		attain := 0.0
+		if st.Completions > 0 {
+			attain = 100 * float64(st.Attained) / float64(st.Completions)
+		}
+		tab.AddRow(st.Start, st.Completions, st.Goodput, attain, st.TTFTP95, st.NormLatP95)
+	}
+	return tab
+}

@@ -28,6 +28,10 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Heavy scenarios pin a shortened replay (Spec.GoldenDuration):
+			// the golden referee needs every scheduling path exercised
+			// byte-stably, not a million-request run per `go test`.
+			spec = spec.ForGolden()
 			tab, err := Run(spec, Options{})
 			if err != nil {
 				t.Fatal(err)

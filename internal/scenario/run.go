@@ -31,6 +31,17 @@ type Options struct {
 	Quick bool
 	// Build overrides engine construction (nil = BuildEngine).
 	Build EngineBuilder
+
+	// Stream measures through constant-memory streaming sinks (and
+	// disables the event trace log) instead of the exact recorder:
+	// goodput/attainment/counts stay exact, latency percentiles carry the
+	// sketch's relative-error bound, and memory stops growing with trace
+	// length. The default (false) is the byte-stable golden path.
+	Stream bool
+	// Window, with Stream, additionally collects a windowed time series
+	// (completions, goodput, p95 latency per Window seconds) that
+	// RunEngineSink returns as a second table.
+	Window float64
 }
 
 // BuildEngine directly constructs the named engine, planning Hetis for the
@@ -72,57 +83,111 @@ func Prepare(spec Spec, quick bool) Spec {
 // RunEngine serves the scenario's trace on one engine and returns its rows:
 // the aggregate first, then per-tenant rows for multi-tenant mixes.
 func RunEngine(spec Spec, engineName string, opts Options) (*metrics.Table, error) {
+	rows, _, err := RunEngineSink(spec, engineName, opts)
+	return rows, err
+}
+
+// streamPipeline is the sink stack a streaming run measures through: an
+// aggregate streaming sink — wrapped in a TenantMux only when the trace
+// is actually multi-tenant, so single-tenant runs pay one sketch set per
+// record, not two — plus an optional windowed series for the dynamic
+// plots.
+type streamPipeline struct {
+	agg     metrics.Sink // the aggregate view: the mux when present, else the bare sink
+	mux     *metrics.TenantMux
+	windows *metrics.WindowedSeries
+	sink    metrics.Sink
+}
+
+func newStreamPipeline(slo metrics.SLOTarget, window float64, tenants bool) *streamPipeline {
+	p := &streamPipeline{agg: metrics.NewStreamingSink(slo)}
+	if tenants {
+		p.mux = metrics.NewTenantMux(p.agg, func(string) metrics.Sink {
+			return metrics.NewStreamingSink(slo)
+		})
+		p.agg = p.mux
+	}
+	p.sink = p.agg
+	if window > 0 {
+		p.windows = metrics.NewWindowedSeries(window, slo)
+		p.sink = metrics.NewTee(p.agg, p.windows)
+	}
+	return p
+}
+
+// RunEngineSink runs like RunEngine and additionally returns the windowed
+// time-series table when the run streamed with Options.Window > 0 (nil
+// otherwise).
+func RunEngineSink(spec Spec, engineName string, opts Options) (rows, windows *metrics.Table, err error) {
 	spec = Prepare(spec, opts.Quick)
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !engine.Known(engineName) {
-		return nil, fmt.Errorf("scenario %s: unknown engine %q", spec.Name, engineName)
+		return nil, nil, fmt.Errorf("scenario %s: unknown engine %q", spec.Name, engineName)
 	}
 	reqs, err := spec.Trace()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(reqs) == 0 {
-		return nil, fmt.Errorf("scenario %s: empty trace", spec.Name)
+		return nil, nil, fmt.Errorf("scenario %s: empty trace", spec.Name)
 	}
 	m, err := model.ByName(spec.Model)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cluster, err := ClusterByName(spec.Cluster)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	build := opts.Build
 	if build == nil {
 		build = BuildEngine
 	}
 	cfg := engine.DefaultConfig(m, cluster)
+	var stream *streamPipeline
+	if opts.Stream {
+		stream = newStreamPipeline(spec.SLO, opts.Window, multiTenant(reqs))
+		cfg.Sink = stream.sink
+		cfg.NoTrace = true
+	}
 	eng, err := build(engineName, cfg, reqs)
 	if err != nil {
-		return nil, fmt.Errorf("scenario %s/%s: %w", spec.Name, engineName, err)
+		return nil, nil, fmt.Errorf("scenario %s/%s: %w", spec.Name, engineName, err)
 	}
 	res, err := eng.Run(reqs, MeasurementHorizon(spec.Duration))
 	if err != nil {
-		return nil, fmt.Errorf("scenario %s/%s: %w", spec.Name, engineName, err)
+		return nil, nil, fmt.Errorf("scenario %s/%s: %w", spec.Name, engineName, err)
 	}
 
 	tab := &metrics.Table{Header: Header}
+	if stream != nil {
+		streamRows(tab, spec, engineName, reqs, res.Horizon, stream)
+		if stream.windows != nil {
+			windows = stream.windows.Table()
+		}
+		return tab, windows, nil
+	}
+	exactRows(tab, spec, engineName, reqs, res)
+	return tab, nil, nil
+}
+
+// exactRows fills the table from the run's exact recorder — the original,
+// golden-pinned path, byte-identical to what it always produced.
+func exactRows(tab *metrics.Table, spec Spec, engineName string, reqs []workload.Request, res *engine.Result) {
 	rec := res.Recorder
+	ttft, tpot, norm := rec.Summaries()
 	tab.AddRow(spec.Name, engineName, "all",
 		len(reqs), rec.Count(),
 		rec.Goodput(spec.SLO, res.Horizon),
 		100*rec.Attainment(spec.SLO),
-		rec.TTFTSummary().P95,
-		rec.TPOTSummary().P95,
-		rec.NormLatencySummary().Mean)
+		ttft.P95,
+		tpot.P95,
+		norm.Mean)
 
 	if multiTenant(reqs) {
-		offered := map[string]int{}
-		for _, r := range reqs {
-			offered[r.Tenant]++
-		}
+		offered := offeredByTenant(reqs)
 		byTenant := map[string]metrics.TenantStats{}
 		for _, ts := range rec.PerTenant(spec.SLO, res.Horizon) {
 			byTenant[ts.Tenant] = ts
@@ -138,7 +203,43 @@ func RunEngine(spec Spec, engineName string, opts Options) (*metrics.Table, erro
 				ts.NormLat.Mean)
 		}
 	}
-	return tab, nil
+}
+
+// streamRows fills the table from streaming-sink snapshots: the same
+// columns, with counts/goodput/attainment exact and percentiles carrying
+// the sketch bound.
+func streamRows(tab *metrics.Table, spec Spec, engineName string, reqs []workload.Request, horizon float64, p *streamPipeline) {
+	snap := p.agg.Snapshot()
+	tab.AddRow(spec.Name, engineName, "all",
+		len(reqs), snap.Count,
+		snap.Goodput(horizon),
+		100*snap.Attainment(),
+		snap.TTFT.P95,
+		snap.TPOT.P95,
+		snap.NormLat.Mean)
+
+	if p.mux != nil {
+		offered := offeredByTenant(reqs)
+		for _, tenant := range tenantNames(offered) {
+			var ts metrics.Snapshot
+			if sub := p.mux.Tenant(tenant); sub != nil {
+				ts = sub.Snapshot()
+			}
+			tab.AddRow(spec.Name, engineName, tenant,
+				offered[tenant], ts.Count,
+				ts.Goodput(horizon), 100*ts.Attainment(),
+				ts.TTFT.P95, ts.TPOT.P95,
+				ts.NormLat.Mean)
+		}
+	}
+}
+
+func offeredByTenant(reqs []workload.Request) map[string]int {
+	offered := map[string]int{}
+	for _, r := range reqs {
+		offered[r.Tenant]++
+	}
+	return offered
 }
 
 // Run serves the scenario on every engine it names, rows in engine order.

@@ -178,6 +178,19 @@ type Spec struct {
 	// Seed drives all sampling (default 1).
 	Duration float64
 	Seed     int64
+
+	// Heavy marks large-scale scenarios (megascale and friends) that
+	// catalog-wide expansions — the bench suite, "-scenario all", the
+	// scenarios experiment — skip unless the scenario is named explicitly.
+	// Heavy scenarios are built for the streaming sink; running them with
+	// the exact recorder works but holds O(requests) memory.
+	Heavy bool
+	// GoldenDuration is the trace length the golden-trace harness pins the
+	// scenario at. Zero means Duration. Heavy scenarios must set it: a
+	// million-request exact replay per `go test` is exactly what the
+	// golden referee must not cost, while a shortened trace still pins
+	// every scheduling path byte-for-byte.
+	GoldenDuration float64
 }
 
 // WithDefaults fills unset fields.
@@ -227,7 +240,22 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %s: unknown engine %q", s.Name, e)
 		}
 	}
+	if s.GoldenDuration < 0 {
+		return fmt.Errorf("scenario %s: negative GoldenDuration %g", s.Name, s.GoldenDuration)
+	}
+	if s.Heavy && s.GoldenDuration <= 0 {
+		return fmt.Errorf("scenario %s: heavy scenarios must set GoldenDuration (the golden harness cannot replay them at full scale)", s.Name)
+	}
 	return nil
+}
+
+// ForGolden returns the spec the golden-trace harness runs: the scenario
+// at its GoldenDuration (when set), everything else untouched.
+func (s Spec) ForGolden() Spec {
+	if s.GoldenDuration > 0 {
+		s.Duration = s.GoldenDuration
+	}
+	return s
 }
 
 // Trace generates the scenario's request trace: arrival times from the

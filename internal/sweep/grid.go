@@ -45,6 +45,14 @@ type GridSpec struct {
 	// Seed drives the trace sampling; points sharing a dataset and rate
 	// share the generated trace.
 	Seed int64
+
+	// Stream measures every point through a constant-memory streaming sink
+	// instead of the exact recorder: counts, goodput, and attainment stay
+	// exact, the latency columns carry the sketch's relative-error bound,
+	// and pooled workers stop holding a full record slice per in-flight
+	// point. The default (false) is byte-identical to the historical exact
+	// output.
+	Stream bool
 }
 
 // withDefaults fills unset fields and folds Quick into Duration. It is
@@ -167,6 +175,18 @@ func RunPoint(s GridSpec, p Point, c *Cache) (*metrics.Table, error) {
 		return nil, fmt.Errorf("sweep: empty trace for %s", p.Key())
 	}
 	cfg := engine.DefaultConfig(m, hardware.PaperCluster())
+	// Grid rows never read the event trace; skipping it keeps pooled
+	// workers from holding O(events) logs per in-flight point.
+	cfg.NoTrace = true
+	// Rows are computed from the sink's snapshot either way. The exact
+	// recorder's snapshot runs the same accumulation the recorder methods
+	// always ran, so the default output stays byte-identical; the streaming
+	// sink swaps O(records) memory for the sketch bound.
+	if s.Stream {
+		cfg.Sink = metrics.NewStreamingSink(slo)
+	} else {
+		cfg.Sink = metrics.NewExactRecorder(slo)
+	}
 	eng, err := c.BuildEngine(p.Engine, cfg, k)
 	if err != nil {
 		return nil, err
@@ -179,14 +199,15 @@ func RunPoint(s GridSpec, p Point, c *Cache) (*metrics.Table, error) {
 	if p.Scenario != "" {
 		scenarioCol, datasetCol, rateCol = p.Scenario, "-", "-"
 	}
+	snap := res.Sink.Snapshot()
 	tab := &metrics.Table{Header: GridHeader}
 	tab.AddRow(p.Model, scenarioCol, datasetCol, rateCol, p.Engine,
 		len(reqs), res.Completed, res.Throughput(),
-		res.Recorder.Goodput(slo, res.Horizon),
-		100*res.Recorder.Attainment(slo),
-		res.Recorder.NormLatencySummary().Mean,
-		res.Recorder.TTFTSummary().P95,
-		res.Recorder.TPOTSummary().P95)
+		snap.Goodput(res.Horizon),
+		100*snap.Attainment(),
+		snap.NormLat.Mean,
+		snap.TTFT.P95,
+		snap.TPOT.P95)
 	return tab, nil
 }
 

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"sync"
 
 	"hetis/internal/engine"
 	"hetis/internal/metrics"
@@ -11,16 +12,34 @@ import (
 
 // RunScenarios serves the named scenarios on the pool, one job per
 // (scenario, engine) pair, and merges their rows in catalog order —
-// scenarios as given (or sorted, for "all"), engines in each spec's order
-// — independent of completion order, so the output is byte-identical for
-// any Options.Jobs value. quick quarters trace durations; seed offsets
-// every scenario's built-in seed.
+// scenarios as given (or the non-heavy catalog, for "all"), engines in
+// each spec's order — independent of completion order, so the output is
+// byte-identical for any Options.Jobs value. quick quarters trace
+// durations; seed offsets every scenario's built-in seed.
 func RunScenarios(names []string, quick bool, seed int64, opts Options) (*metrics.Table, error) {
+	tab, _, err := RunScenariosSink(names, quick, seed, false, 0, opts)
+	return tab, err
+}
+
+// ScenarioWindows is one (scenario, engine) run's windowed time series.
+type ScenarioWindows struct {
+	Scenario string
+	Engine   string
+	Table    *metrics.Table
+}
+
+// RunScenariosSink is RunScenarios with sink selection: stream measures
+// through constant-memory streaming sinks (required for heavy scenarios
+// like megascale to stay cheap), and window > 0 additionally returns each
+// pair's windowed time series, in the same deterministic pair order as the
+// rows. "all" expands to the non-heavy catalog (scenario.SuiteNames);
+// heavy scenarios run when named explicitly.
+func RunScenariosSink(names []string, quick bool, seed int64, stream bool, window float64, opts Options) (*metrics.Table, []ScenarioWindows, error) {
 	if len(names) == 1 && names[0] == "all" {
-		names = scenario.Names()
+		names = scenario.SuiteNames()
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("sweep: no scenarios named")
+		return nil, nil, fmt.Errorf("sweep: no scenarios named")
 	}
 	type pair struct {
 		spec scenario.Spec
@@ -30,7 +49,7 @@ func RunScenarios(names []string, quick bool, seed int64, opts Options) (*metric
 	for _, name := range names {
 		spec, err := scenario.ByName(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		spec = scenario.Prepare(spec, quick)
 		spec.Seed += seed
@@ -38,15 +57,28 @@ func RunScenarios(names []string, quick bool, seed int64, opts Options) (*metric
 			pairs = append(pairs, pair{spec: spec, eng: eng})
 		}
 	}
+	var winMu sync.Mutex
+	winByIdx := make([]*metrics.Table, len(pairs))
 	jobs := make([]Job, len(pairs))
 	for i, p := range pairs {
+		i := i
 		jobs[i] = Job{Key: p.spec.Name + "/" + p.eng, Run: func(c *Cache) (*metrics.Table, error) {
-			return scenario.RunEngine(p.spec, p.eng, scenario.Options{Build: scenarioBuilder(c, p.spec)})
+			rows, wins, err := scenario.RunEngineSink(p.spec, p.eng, scenario.Options{
+				Build:  scenarioBuilder(c, p.spec),
+				Stream: stream,
+				Window: window,
+			})
+			if wins != nil {
+				winMu.Lock()
+				winByIdx[i] = wins
+				winMu.Unlock()
+			}
+			return rows, err
 		}}
 	}
 	results, err := RunMany(jobs, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Reassemble in pair order (RunMany sorted by key); duplicates work
 	// out because both the sort and the pair walk are stable.
@@ -55,17 +87,22 @@ func RunScenarios(names []string, quick bool, seed int64, opts Options) (*metric
 		byKey[r.Key] = append(byKey[r.Key], r.Table)
 	}
 	tab := &metrics.Table{Header: scenario.Header}
-	for _, p := range pairs {
+	var windows []ScenarioWindows
+	for i, p := range pairs {
 		k := p.spec.Name + "/" + p.eng
 		tab.Rows = append(tab.Rows, byKey[k][0].Rows...)
 		byKey[k] = byKey[k][1:]
+		if winByIdx[i] != nil {
+			windows = append(windows, ScenarioWindows{Scenario: p.spec.Name, Engine: p.eng, Table: winByIdx[i]})
+		}
 	}
-	return tab, nil
+	return tab, windows, nil
 }
 
 // scenarioBuilder routes engine construction through the cache so every
 // engine serving the same scenario shares its trace, Hetis plan, and
-// profile fit.
+// profile fit. The run's cfg (sink injection included) passes through to
+// the engine untouched.
 func scenarioBuilder(c *Cache, spec scenario.Spec) scenario.EngineBuilder {
 	k := TraceKey{Scenario: spec.Name, Duration: spec.Duration, Seed: spec.Seed}
 	return func(name string, cfg engine.Config, reqs []workload.Request) (engine.Engine, error) {

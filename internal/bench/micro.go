@@ -7,6 +7,7 @@ import (
 	"hetis/internal/dispatch"
 	"hetis/internal/hardware"
 	"hetis/internal/kvcache"
+	"hetis/internal/lp"
 	"hetis/internal/metrics"
 	"hetis/internal/model"
 	"hetis/internal/profile"
@@ -25,6 +26,8 @@ func RunMicro() []MicroBench {
 		microResult("sim/schedule-run-1024", benchSimScheduleRun),
 		microResult("dispatch/admission-lp", benchDispatchLP),
 		microResult("dispatch/ideal-attn-lp-128", benchIdealAttn),
+		microResult("lp/solve-cold-20x12", benchLPSolveCold),
+		microResult("lp/solve-warm-20x12", benchLPSolveWarm),
 		microResult("kvcache/alloc-extend-free", benchKVCache),
 		microResult("metrics/summarize-3x-10k", benchSummarizeSeparate),
 		microResult("metrics/summaries-bulk-10k", benchSummariesBulk),
@@ -168,6 +171,82 @@ func benchIdealAttn(b *testing.B) {
 		if _, err := d.IdealAttnTime(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// lpMicroProblem builds the deterministic 20-variable, 12-constraint
+// mixed LP (GE/EQ rows force a real phase 1) the solver micros share,
+// returning the first constraint's row for per-op rhs patching.
+// All-positive costs keep it bounded; moderate right-hand sides keep it
+// feasible.
+func lpMicroProblem() (*lp.Problem, []float64) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 20
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = 0.5 + rng.Float64()*2.5
+	}
+	p := lp.New(n, c)
+	var row0 []float64
+	for i := 0; i < 12; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64() * 2
+		}
+		switch i % 4 {
+		case 0:
+			p.AddConstraint(row, lp.GE, 1+rng.Float64())
+		case 1:
+			p.AddConstraint(row, lp.EQ, 4+rng.Float64()*4)
+		default:
+			p.AddConstraint(row, lp.LE, 10+rng.Float64()*10)
+		}
+		if i == 0 {
+			row0 = row
+		}
+	}
+	return p, row0
+}
+
+// benchLPSolveCold measures the from-scratch two-phase solve of the
+// shared micro LP, with the same per-op rhs patch the warm micro
+// applies (cycling values model the dispatch re-pose pattern).
+func benchLPSolveCold(b *testing.B) {
+	p, row0 := lpMicroProblem()
+	if _, err := p.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SetConstraint(0, row0, lp.GE, 1.2+0.01*float64(i%8))
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLPSolveWarm measures the same patched re-solves through SolveFrom
+// with the previous optimal basis: phase 1 skipped on every op.
+func benchLPSolveWarm(b *testing.B) {
+	p, row0 := lpMicroProblem()
+	first, err := p.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	basis := first.Basis
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SetConstraint(0, row0, lp.GE, 1.2+0.01*float64(i%8))
+		res, stats, err := p.SolveFrom(basis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !stats.WarmStarted {
+			b.Fatal("warm micro fell back to the cold path")
+		}
+		basis = res.Basis
 	}
 }
 

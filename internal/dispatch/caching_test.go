@@ -9,13 +9,16 @@ import (
 )
 
 // TestCachingDecisionEquivalence is the optimization contract's property
-// test: a dispatcher with the solver caching layer on (placement memo +
-// ideal lower-bound skip) must make bit-identical decisions to a
-// cache-disabled twin across randomized admission / context-growth /
-// rebalance / removal sequences. Placements, tracked loads, attention
-// step times, and every RebalanceCompute outcome are compared after each
-// operation.
+// test: a dispatcher with the solver caching layer on (placement memo
+// LRU + ideal lower-bound skip + warm-started/patched LPs) must make
+// bit-identical decisions to a cache-disabled twin across randomized
+// admission / context-growth / rebalance / removal sequences.
+// Placements, tracked loads, attention step times, and every
+// RebalanceCompute outcome are compared after each operation. Aggregate
+// assertions at the end confirm the warm-start layer actually engaged —
+// the test must exercise warm-started ideal solves, not just memos.
 func TestCachingDecisionEquivalence(t *testing.T) {
+	var warmTotal, patchedTotal, idealTotal int
 	for seed := int64(1); seed <= 8; seed++ {
 		seed := seed
 		t.Run("", func(t *testing.T) {
@@ -109,7 +112,104 @@ func TestCachingDecisionEquivalence(t *testing.T) {
 				t.Errorf("solve accounting: cached %d+%d avoided != plain %d",
 					cached.LPSolves, cached.LPSolvesAvoided, plain.LPSolves)
 			}
+			if cached.LPWarmStarts > cached.LPPhase1Skips {
+				t.Errorf("warm starts %d exceed phase-1 skips %d", cached.LPWarmStarts, cached.LPPhase1Skips)
+			}
+			if plain.LPWarmStarts != 0 || plain.LPPhase1Skips != 0 || plain.LPPatchedRows != 0 {
+				t.Errorf("cache-disabled twin used the warm layer: warm=%d skips=%d patched=%d",
+					plain.LPWarmStarts, plain.LPPhase1Skips, plain.LPPatchedRows)
+			}
+			warmTotal += cached.LPWarmStarts
+			patchedTotal += cached.LPPatchedRows
+			idealTotal += cached.LPIdealSolves
 		})
+	}
+	if patchedTotal == 0 {
+		t.Error("no sequence ever patched a cached problem; the re-pose layer was not exercised")
+	}
+	if idealTotal == 0 {
+		t.Error("no sequence ever solved the ideal relaxation; rebalance coverage is gone")
+	}
+	if warmTotal == 0 {
+		t.Error("no sequence ever warm-started an ideal solve; the warm-start layer was not exercised")
+	}
+}
+
+// TestPlacementMemoLRU pins the multi-entry memo: cycling a handful of
+// context lengths through an otherwise-empty dispatcher re-poses LPs the
+// single-slot memo of old would always miss, while the LRU answers every
+// one of them without solving — and bit-equal to the first cycle.
+func TestPlacementMemoLRU(t *testing.T) {
+	d, err := New(model.Llama13B, testWorkersForBench(1e12, 1e12, 1e12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := []int{100, 200, 300, 400}
+	first := make(map[int][]int)
+	for i, c := range ctxs {
+		id := RequestID(i)
+		x, err := d.Dispatch([]NewRequest{{ID: id, ContextLen: c}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[c] = x[id]
+		d.Remove(id) // release restores (h, g) to the empty state bit-exactly
+	}
+	if d.LPSolvesAvoided != 0 {
+		t.Fatalf("first cycle already hit the memo %d times", d.LPSolvesAvoided)
+	}
+	solves := d.LPSolves
+	for i, c := range ctxs {
+		id := RequestID(10 + i)
+		x, err := d.Dispatch([]NewRequest{{ID: id, ContextLen: c}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(x[id], first[c]) {
+			t.Errorf("ctx %d: memo answer %v != solved answer %v", c, x[id], first[c])
+		}
+		d.Remove(id)
+	}
+	if d.LPSolves != solves {
+		t.Errorf("second cycle solved %d LPs; the LRU should have answered all %d", d.LPSolves-solves, len(ctxs))
+	}
+	if d.LPSolvesAvoided != len(ctxs) {
+		t.Errorf("avoided %d solves, want %d", d.LPSolvesAvoided, len(ctxs))
+	}
+}
+
+// TestSetWarmStartBaselineMode pins the nowarm toggle: with warm starts
+// off the dispatcher must behave like the pre-warm-start solver (no
+// patched rows, no phase-1 skips) while making identical decisions.
+func TestSetWarmStartBaselineMode(t *testing.T) {
+	warm, err := New(model.Llama13B, testWorkersForBench(1e12, 1e12, 1e12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(model.Llama13B, testWorkersForBench(1e12, 1e12, 1e12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.SetWarmStart(false)
+	for i := 0; i < 12; i++ {
+		nr := []NewRequest{{ID: RequestID(i), ContextLen: 128 + 100*i}}
+		x1, err1 := warm.Dispatch(nr)
+		x2, err2 := cold.Dispatch(nr)
+		if (err1 == nil) != (err2 == nil) || !reflect.DeepEqual(x1, x2) {
+			t.Fatalf("step %d: nowarm decisions diverged: %v/%v vs %v/%v", i, x1, err1, x2, err2)
+		}
+		r1, e1 := warm.RebalanceCompute(0, nil)
+		r2, e2 := cold.RebalanceCompute(0, nil)
+		if (e1 == nil) != (e2 == nil) || !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("step %d: nowarm rebalance diverged: %+v vs %+v", i, r1, r2)
+		}
+	}
+	if cold.LPPatchedRows != 0 || cold.LPPhase1Skips != 0 || cold.LPWarmStarts != 0 {
+		t.Errorf("nowarm dispatcher used the warm layer: patched=%d skips=%d warm=%d",
+			cold.LPPatchedRows, cold.LPPhase1Skips, cold.LPWarmStarts)
+	}
+	if warm.LPPatchedRows == 0 {
+		t.Error("warm dispatcher never patched a problem")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"hetis/internal/hardware"
 	"hetis/internal/lp"
@@ -70,13 +71,59 @@ type Dispatcher struct {
 	// "LP solves avoided" metric.
 	LPSolves, LPSolvesAvoided int
 
+	// LPIdealSolves counts the subset of LPSolves that were §5.3.1
+	// ideal-relaxation solves — the only solves eligible for basis warm
+	// starting (see solvePlacement for why placements always solve cold),
+	// and by far the most expensive per solve (≈50x an admission LP).
+	LPIdealSolves int
+	// LPWarmStarts counts solves answered from a cached optimal basis
+	// (phase 1 skipped and the result accepted by the decision guards).
+	// LPPhase1Skips counts solver-level phase-1 skips, including warm
+	// solves whose objective landed inside the rebalance-threshold gray
+	// zone and were re-solved cold; it is always >= LPWarmStarts.
+	// LPPatchedRows counts constraint rows mutated in place when a
+	// recurring LP shape was re-posed as a patch against the cached
+	// problem instead of being rebuilt.
+	LPWarmStarts, LPPhase1Skips, LPPatchedRows int
+	// LPSolveSeconds accumulates wall-clock spent posing and solving the
+	// dispatch LPs (fresh builds and patches, warm and cold solves, and
+	// guard-triggered re-solves alike), so the perf trajectory can report
+	// the LP layer's share of engine time directly.
+	LPSolveSeconds float64
+
 	// nocache disables the solver caching layer (SetCaching); the
 	// decision-equivalence property test runs a cache-free twin through
 	// identical operation sequences.
 	nocache bool
-	// lastPlace memoizes the most recent single-request placement solve
-	// keyed on its exact inputs; see solvePlacement.
-	lastPlace placementMemo
+	// nowarm disables only the warm-start/patching layer (SetWarmStart),
+	// keeping the PR3-era exact-input memo and lower-bound skip: the
+	// baseline mode BENCH.json speedups are measured against.
+	nowarm bool
+
+	// placeMemos is a small LRU of single-request placement solves keyed
+	// on their exact inputs (most recent first); see solvePlacement.
+	placeMemos []placementMemo
+
+	// placeCache holds the re-posable single-request placement LP (its
+	// basis slot stays nil — placements always solve cold); idealCaches
+	// hold the re-posable §5.3.1 relaxations and their warm-start bases,
+	// keyed by bucket count (the relaxation's shape).
+	placeCache  lpCache
+	idealCaches map[int]*lpCache
+}
+
+// lpCache is one re-posable LP: the problem instance successive solves
+// patch in place, and (for the ideal relaxation) the optimal basis of
+// the previous solve that warm starts the next one, plus that solve's
+// optimal point and bucket counts — the certificate material of the
+// act-side upper-bound skip (see idealUpperBound).
+type lpCache struct {
+	prob  *lp.Problem
+	basis *lp.Basis
+	row   []float64 // row-building scratch, nVars wide
+
+	prevX      []float64 // bucket×worker optimum of the last ideal solve
+	prevCounts []int     // bucket counts that optimum conserved heads for
 }
 
 // placementMemo holds one solved single-request placement LP keyed by the
@@ -263,13 +310,62 @@ func (d *Dispatcher) CanFit(reqs []NewRequest) bool {
 	return need <= free
 }
 
-// SetCaching toggles the solver caching layer (the single-request
-// placement memo and the ideal-LP lower-bound test). It is on by default;
-// the cache-equivalence property test disables it on a twin dispatcher to
-// assert cached and recomputed decisions are bit-equal.
+// SetCaching toggles the entire solver caching layer (the placement memo
+// LRU, the ideal-LP lower-bound test, and the warm-start/patching layer).
+// It is on by default; the cache-equivalence property test disables it on
+// a twin dispatcher to assert cached and recomputed decisions are
+// bit-equal.
 func (d *Dispatcher) SetCaching(enabled bool) {
 	d.nocache = !enabled
-	d.lastPlace.valid = false
+	d.placeMemos = nil
+	d.placeCache = lpCache{}
+	d.idealCaches = nil
+}
+
+// SetWarmStart toggles only the warm-start/patching layer, leaving the
+// exact-input memo and the lower-bound skip on. It is on by default;
+// turning it off reproduces the pre-warm-start solver behavior, which is
+// how BENCH.json baselines for this optimization are recorded.
+func (d *Dispatcher) SetWarmStart(enabled bool) {
+	d.nowarm = !enabled
+	d.placeCache = lpCache{}
+	d.idealCaches = nil
+}
+
+// memoLookup returns a copy of the placement groups solved earlier under
+// an identical (ctx, h, g) key, moving the hit to the LRU front.
+func (d *Dispatcher) memoLookup(ctx int) ([]int, bool) {
+	for k := range d.placeMemos {
+		if !d.placeMemos[k].matches(ctx, d.h, d.g) {
+			continue
+		}
+		if k != 0 {
+			hit := d.placeMemos[k]
+			copy(d.placeMemos[1:k+1], d.placeMemos[:k])
+			d.placeMemos[0] = hit
+		}
+		return append([]int(nil), d.placeMemos[0].groups...), true
+	}
+	return nil, false
+}
+
+// placeMemoCap bounds the placement-memo LRU. One slot covers the
+// single-tenant steady state (re-trying a blocked admission on an
+// unchanged instance); a few more let multi-tenant mixes that interleave
+// a handful of distinct context lengths hit across each other's retries.
+const placeMemoCap = 8
+
+// memoStore records a solved placement at the LRU front, evicting the
+// tail entry (whose slices are recycled) when full.
+func (d *Dispatcher) memoStore(ctx int, groups []int) {
+	if len(d.placeMemos) < placeMemoCap {
+		d.placeMemos = append(d.placeMemos, placementMemo{})
+	}
+	last := len(d.placeMemos) - 1
+	entry := d.placeMemos[last]
+	copy(d.placeMemos[1:], d.placeMemos[:last])
+	entry.store(ctx, d.h, d.g, groups)
+	d.placeMemos[0] = entry
 }
 
 // solvePlacement builds and solves the Eq. 7 LP for the given requests
@@ -282,71 +378,42 @@ func (d *Dispatcher) solvePlacement(reqs []NewRequest, exclude map[int]bool) ([]
 	}
 	// The single-request solve (the admission/redispatch hot path) is
 	// memoized on its exact inputs: identical (h, g, context) re-poses the
-	// identical LP, so the previous solution is returned bit-equal without
+	// identical LP, so a previous solution is returned bit-equal without
 	// solving. Anything that shifts load invalidates by construction —
 	// the key is the load vector itself.
 	memoable := !d.nocache && len(reqs) == 1 && exclude == nil
-	if memoable && d.lastPlace.matches(reqs[0].ContextLen, d.h, d.g) {
-		d.LPSolvesAvoided++
-		return [][]int{append([]int(nil), d.lastPlace.groups...)}, nil
+	if memoable {
+		if groups, ok := d.memoLookup(reqs[0].ContextLen); ok {
+			d.LPSolvesAvoided++
+			return [][]int{groups}, nil
+		}
 	}
 	nW := len(d.workers)
 	nR := len(reqs)
-	H := float64(d.cfg.Heads)
 	r := d.cfg.GroupRatio()
 
 	// Variables: x[j][i] for j in reqs, i in workers, then z. Index
 	// helper: v(j,i) = j*nW + i; z = nR*nW.
 	nVars := nR*nW + 1
-	obj := make([]float64, nVars)
-	obj[nVars-1] = 1 // min z
 
-	prob := lp.New(nVars, obj)
-
-	// (7a) epigraph: f_i(x) − z ≤ 0 for every worker.
-	for i := range d.workers {
-		w := d.workers[i]
-		row := make([]float64, nVars)
-		slopeHeads := w.Attn.A
-		if !w.Primary {
-			slopeHeads += w.Net.Gamma * d.scatterBytesPerHead
-		}
-		for j, rq := range reqs {
-			perHead := slopeHeads + w.Attn.B*d.perHeadTokenBytes*float64(rq.ContextLen)
-			row[j*nW+i] = perHead
-		}
-		row[nVars-1] = -1
-		fixed := w.Attn.A*d.h[i] + w.Attn.B*d.g[i] + w.Attn.C
-		if !w.Primary {
-			fixed += w.Net.Gamma*d.scatterBytesPerHead*d.h[i] + w.Net.Beta
-		}
-		prob.AddConstraint(row, lp.LE, -fixed)
-	}
-
-	// (7b) capacity: g_i + Σ_j bytes(x_{j,i}) ≤ M_i.
-	for i := range d.workers {
-		row := make([]float64, nVars)
-		for j, rq := range reqs {
-			row[j*nW+i] = d.perHeadTokenBytes * float64(rq.ContextLen)
-		}
-		cap := d.workers[i].CapacityBytes - d.g[i]
-		if exclude[i] {
-			cap = 0
-		}
-		prob.AddConstraint(row, lp.LE, cap)
-	}
-
-	// (7c) head conservation: Σ_i x_{j,i} = H.
-	for j := range reqs {
-		row := make([]float64, nVars)
-		for i := 0; i < nW; i++ {
-			row[j*nW+i] = 1
-		}
-		prob.AddConstraint(row, lp.EQ, H)
-	}
-
+	// The recurring single-request shape is re-posed as a patch against
+	// the cached problem (allocation-free once warm); anything else
+	// (batches, failure injection, caching off) builds a fresh problem.
+	// Either way the solve itself is ALWAYS the cold two-phase simplex:
+	// the min-max placement LP is massively degenerate — any head
+	// distribution that keeps every worker under the binding worker's
+	// time is optimal — so a basis-warm-started solve routinely lands on
+	// a different optimal vertex than the legacy path, and no cheap
+	// numerical certificate can tell the unique-optimum cases apart
+	// reliably. Placements feed the goldens directly; bit-equality wins.
+	// (The ideal relaxation, which only needs the optimal objective, IS
+	// warm-started — see idealAttn.)
+	reposable := memoable && !d.nowarm
 	d.LPSolves++
+	start := time.Now() // the LP layer's cost is posing + solving
+	prob := d.posePlacement(reqs, exclude, nVars, reposable)
 	res, err := prob.Solve()
+	d.LPSolveSeconds += time.Since(start).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: placement LP: %w", err)
 	}
@@ -374,10 +441,122 @@ func (d *Dispatcher) solvePlacement(reqs []NewRequest, exclude map[int]bool) ([]
 		out[j] = x
 	}
 	if memoable {
-		d.lastPlace.store(reqs[0].ContextLen, d.h, d.g, out[0])
+		d.memoStore(reqs[0].ContextLen, out[0])
 	}
 	return out, nil
 }
+
+// poseInto prepares one min-z LP re-pose: with a non-nil cache it
+// returns the cached problem to patch in place (counting mutated rows
+// through emit), creating and remembering it on first use; with nil it
+// returns a fresh problem. Callers write each row's data into the
+// returned scratch before calling emit. Patched and rebuilt problems
+// hold bit-identical data, so they solve identically. noBasis marks
+// problems whose optimal basis nobody will ever warm-start from.
+func (d *Dispatcher) poseInto(cache *lpCache, nVars int, noBasis bool) (prob *lp.Problem, row []float64, emit func(op lp.Op, rhs float64)) {
+	patch := false
+	if cache != nil {
+		if len(cache.row) != nVars {
+			cache.row = make([]float64, nVars)
+		}
+		row = cache.row
+		if cache.prob != nil {
+			prob = cache.prob
+			patch = true
+		}
+	} else {
+		row = make([]float64, nVars)
+	}
+	if prob == nil {
+		obj := make([]float64, nVars)
+		obj[nVars-1] = 1 // min z
+		prob = lp.New(nVars, obj)
+		prob.NoBasis = noBasis
+		if cache != nil {
+			cache.prob = prob
+		}
+	}
+	idx := 0
+	emit = func(op lp.Op, rhs float64) {
+		if patch {
+			if prob.SetConstraint(idx, row, op, rhs) {
+				d.LPPatchedRows++
+			}
+		} else {
+			prob.AddConstraint(row, op, rhs)
+		}
+		idx++
+	}
+	return prob, row, emit
+}
+
+// posePlacement states the Eq. 7 LP for the given requests. When
+// reposable it builds into (or patches) the dispatcher's cached problem,
+// counting mutated rows; otherwise it returns a fresh problem.
+func (d *Dispatcher) posePlacement(reqs []NewRequest, exclude map[int]bool, nVars int, reposable bool) *lp.Problem {
+	nW := len(d.workers)
+	H := float64(d.cfg.Heads)
+
+	var cache *lpCache
+	if reposable {
+		cache = &d.placeCache
+	}
+	// Placements never warm-start (see solvePlacement), so their solves
+	// skip basis capture.
+	prob, row, emit := d.poseInto(cache, nVars, true)
+
+	// (7a) epigraph: f_i(x) − z ≤ 0 for every worker.
+	for i := range d.workers {
+		w := d.workers[i]
+		clear(row)
+		slopeHeads := w.Attn.A
+		if !w.Primary {
+			slopeHeads += w.Net.Gamma * d.scatterBytesPerHead
+		}
+		for j, rq := range reqs {
+			perHead := slopeHeads + w.Attn.B*d.perHeadTokenBytes*float64(rq.ContextLen)
+			row[j*nW+i] = perHead
+		}
+		row[nVars-1] = -1
+		fixed := w.Attn.A*d.h[i] + w.Attn.B*d.g[i] + w.Attn.C
+		if !w.Primary {
+			fixed += w.Net.Gamma*d.scatterBytesPerHead*d.h[i] + w.Net.Beta
+		}
+		emit(lp.LE, -fixed)
+	}
+
+	// (7b) capacity: g_i + Σ_j bytes(x_{j,i}) ≤ M_i.
+	for i := range d.workers {
+		clear(row)
+		for j, rq := range reqs {
+			row[j*nW+i] = d.perHeadTokenBytes * float64(rq.ContextLen)
+		}
+		cap := d.workers[i].CapacityBytes - d.g[i]
+		if exclude[i] {
+			cap = 0
+		}
+		emit(lp.LE, cap)
+	}
+
+	// (7c) head conservation: Σ_i x_{j,i} = H.
+	for j := range reqs {
+		clear(row)
+		for i := 0; i < nW; i++ {
+			row[j*nW+i] = 1
+		}
+		emit(lp.EQ, H)
+	}
+	return prob
+}
+
+// warmIdealMargin is the relative width of the gray zone around the
+// §5.3.1 rebalance threshold inside which a warm-started relaxation
+// objective cannot decide and the relaxation is re-solved cold. The
+// optimal objective is unique (unlike the placement LP's solution), so a
+// warm solve agrees with a cold solve up to solver rounding; the margin
+// sits orders of magnitude above that noise, and decisions almost never
+// land inside it, so the escape hatch is essentially free.
+const warmIdealMargin = 1e-6
 
 func (d *Dispatcher) capacities(exclude map[int]bool) []float64 {
 	caps := make([]float64, len(d.workers))
@@ -536,21 +715,169 @@ const idealBuckets = 24
 
 // IdealAttnTime solves the §5.3.1 relaxation: the best achievable max f_i
 // if ALL current requests could be re-placed freely, subject to the
-// aggregate capacity constraint. Returns 0 when idle.
+// aggregate capacity constraint. Returns 0 when idle. The value of a
+// warm-started solve can differ from a cold solve's in last-ulp noise;
+// RebalanceCompute guards its threshold decision against that,
+// re-solving cold near the boundary.
 func (d *Dispatcher) IdealAttnTime() (float64, error) {
 	if len(d.place) == 0 {
 		return 0, nil
 	}
-	buckets := bucketByContext(d.Requests(), d.ctxLen, idealBuckets)
+	// Warm solves through this public probe are deliberately NOT counted
+	// in LPWarmStarts: that counter means "accepted by the decision
+	// guards", and only RebalanceCompute applies them.
+	z, _, err := d.idealAttn(bucketByContext(d.Requests(), d.ctxLen, idealBuckets))
+	return z, err
+}
 
+// warmIdealFloor: a warm ideal objective at or below this absolute value
+// (it is measured in seconds; real values sit far above) is re-solved
+// cold before the ≤0 idle test, so sign-edge decisions stay bit-exact.
+const warmIdealFloor = 1e-12
+
+// idealCacheFor returns (creating on demand) the re-posable relaxation
+// cache for a bucket count, or nil when the caching layer is off.
+func (d *Dispatcher) idealCacheFor(nBuckets int) *lpCache {
+	if d.nocache || d.nowarm {
+		return nil
+	}
+	if d.idealCaches == nil {
+		d.idealCaches = make(map[int]*lpCache)
+	}
+	cache := d.idealCaches[nBuckets]
+	if cache == nil {
+		cache = &lpCache{}
+		d.idealCaches[nBuckets] = cache
+	}
+	return cache
+}
+
+// idealAttn poses and solves the relaxation over the given (non-empty)
+// buckets, warm-starting from the cached basis for this bucket count
+// when the caching layer allows. A non-nil exact closure reports that z
+// came from a warm-started solve and re-solves the identical problem
+// cold on demand (the gray-zone escape hatch).
+func (d *Dispatcher) idealAttn(buckets []bucket) (z float64, exact func() (float64, error), err error) {
 	nW := len(d.workers)
 	nVars := len(buckets)*nW + 1
-	obj := make([]float64, nVars)
-	obj[nVars-1] = 1
-	prob := lp.New(nVars, obj)
+
+	cache := d.idealCacheFor(len(buckets))
+	d.LPSolves++
+	d.LPIdealSolves++
+	start := time.Now() // the LP layer's cost is posing + solving
+	prob := d.poseIdeal(buckets, nVars, cache)
+	var res lp.Result
+	warm := false
+	if cache != nil {
+		var stats lp.SolveStats
+		res, stats, err = prob.SolveFrom(cache.basis)
+		if stats.WarmStarted {
+			d.LPPhase1Skips++
+			warm = true
+		}
+		if err == nil {
+			cache.basis = res.Basis
+		} else {
+			cache.basis = nil
+		}
+	} else {
+		res, err = prob.Solve()
+	}
+	d.LPSolveSeconds += time.Since(start).Seconds()
+	if err != nil {
+		return 0, nil, fmt.Errorf("dispatch: ideal LP: %w", err)
+	}
+	storeIdealPoint(cache, buckets, res.X, nW)
+	if warm {
+		exact = func() (float64, error) {
+			start := time.Now()
+			res, err := prob.Solve()
+			d.LPSolveSeconds += time.Since(start).Seconds()
+			if err != nil {
+				cache.basis = nil
+				return 0, fmt.Errorf("dispatch: ideal LP: %w", err)
+			}
+			cache.basis = res.Basis
+			storeIdealPoint(cache, buckets, res.X, nW)
+			return res.X[nVars-1], nil
+		}
+	}
+	return res.X[nVars-1], exact, nil
+}
+
+// storeIdealPoint records a solved relaxation's optimal bucket×worker
+// point and the bucket counts it conserved heads for — the certificate
+// material of idealUpperBound.
+func storeIdealPoint(cache *lpCache, buckets []bucket, x []float64, nW int) {
+	if cache == nil {
+		return
+	}
+	cache.prevX = append(cache.prevX[:0], x[:len(buckets)*nW]...)
+	cache.prevCounts = cache.prevCounts[:0]
+	for _, b := range buckets {
+		cache.prevCounts = append(cache.prevCounts, b.count)
+	}
+}
+
+// ubSafety inflates the certified upper bound, absorbing the solver
+// tolerance slop in the stored point's feasibility the same way lbSafety
+// shaves the lower bound.
+const ubSafety = 1 + 1e-6
+
+// idealUpperBound is a certified O(buckets×workers) upper bound on the
+// relaxation's optimum: the previous solve's optimal point, rescaled
+// per-bucket to the current head totals, is a feasible point of the
+// current relaxation whenever it still fits the aggregate capacity, and
+// any feasible point's max-f value bounds z* from above. Returns +Inf
+// when no certificate is available (no stored point, bucket mismatch,
+// or the rescaled point no longer fits).
+func (d *Dispatcher) idealUpperBound(buckets []bucket, cache *lpCache) float64 {
+	nW := len(d.workers)
+	if cache == nil || len(cache.prevX) != len(buckets)*nW || len(cache.prevCounts) != len(buckets) {
+		return math.Inf(1)
+	}
+	var totalCap, totalLoad float64
+	for i := range d.workers {
+		totalCap += d.workers[i].CapacityBytes
+	}
+	u := 0.0
+	for i := 0; i < nW; i++ {
+		w := d.workers[i]
+		slope := w.Attn.A
+		fixed := w.Attn.C
+		if !w.Primary {
+			slope += w.Net.Gamma * d.scatterBytesPerHead
+			fixed += w.Net.Beta
+		}
+		var hHat, gHat float64
+		for j, b := range buckets {
+			x := cache.prevX[j*nW+i] * (float64(b.count) / float64(cache.prevCounts[j]))
+			if x < 0 {
+				x = 0 // solver tolerance residue
+			}
+			hHat += x
+			gHat += x * d.perHeadTokenBytes * b.ctx
+		}
+		totalLoad += gHat
+		if f := slope*hHat + w.Attn.B*gHat + fixed; f > u {
+			u = f
+		}
+	}
+	if totalLoad > totalCap {
+		return math.Inf(1) // rescaled point no longer feasible: no certificate
+	}
+	return u * ubSafety
+}
+
+// poseIdeal states the §5.3.1 relaxation over the context buckets,
+// patching the cached problem when one is supplied (counting mutated
+// rows) or building a fresh one.
+func (d *Dispatcher) poseIdeal(buckets []bucket, nVars int, cache *lpCache) *lp.Problem {
+	nW := len(d.workers)
+	prob, row, emit := d.poseInto(cache, nVars, false)
 	for i := range d.workers {
 		w := d.workers[i]
-		row := make([]float64, nVars)
+		clear(row)
 		slopeHeads := w.Attn.A
 		if !w.Primary {
 			slopeHeads += w.Net.Gamma * d.scatterBytesPerHead
@@ -563,10 +890,10 @@ func (d *Dispatcher) IdealAttnTime() (float64, error) {
 		if !w.Primary {
 			fixed += w.Net.Beta
 		}
-		prob.AddConstraint(row, lp.LE, -fixed)
+		emit(lp.LE, -fixed)
 	}
 	// §5.3.1 uses one aggregate capacity constraint (Σ_i loads ≤ Σ_i M_i).
-	row := make([]float64, nVars)
+	clear(row)
 	var totalCap float64
 	for i := range d.workers {
 		totalCap += d.workers[i].CapacityBytes
@@ -574,20 +901,15 @@ func (d *Dispatcher) IdealAttnTime() (float64, error) {
 			row[j*nW+i] += d.perHeadTokenBytes * b.ctx
 		}
 	}
-	prob.AddConstraint(row, lp.LE, totalCap)
+	emit(lp.LE, totalCap)
 	for j, b := range buckets {
-		r := make([]float64, nVars)
+		clear(row)
 		for i := 0; i < nW; i++ {
-			r[j*nW+i] = 1
+			row[j*nW+i] = 1
 		}
-		prob.AddConstraint(r, lp.EQ, float64(d.cfg.Heads)*float64(b.count))
+		emit(lp.EQ, float64(d.cfg.Heads)*float64(b.count))
 	}
-	d.LPSolves++
-	res, err := prob.Solve()
-	if err != nil {
-		return 0, fmt.Errorf("dispatch: ideal LP: %w", err)
-	}
-	return res.X[nVars-1], nil
+	return prob
 }
 
 // lbSafety shaves the certified lower bound by a relative margin so
@@ -724,25 +1046,66 @@ func (d *Dispatcher) RebalanceCompute(theta float64, frozen map[RequestID]bool) 
 		return nil, nil
 	}
 	current := d.AttnStepTime()
-	// Cheap pre-test: if the current attention time is already within
-	// 1+theta of a certified lower bound on the ideal, the true ideal
-	// cannot justify a redispatch either — skip the LP. This is the common
-	// balanced-steady-state outcome, and it is decision-equivalent to
-	// solving: lb ≤ ideal implies current ≤ lb·(1+θ) ⇒ current ≤
-	// ideal·(1+θ), exactly the no-action branch below.
+	// Cheap pre-tests that sandwich the relaxation's optimum without
+	// solving it. Lower bound: if current is already within 1+theta of a
+	// certified lower bound, the true ideal cannot justify a redispatch
+	// either — skip the LP (the common balanced-steady-state outcome;
+	// lb ≤ ideal and current ≤ lb·(1+θ) ⇒ current ≤ ideal·(1+θ), exactly
+	// the no-action branch below).
+	lb := 0.0
 	if !d.nocache && theta >= 0 {
-		if lb := d.idealLowerBound(); lb > 0 && current <= lb*(1+theta) {
+		if lb = d.idealLowerBound(); lb > 0 && current <= lb*(1+theta) {
 			d.LPSolvesAvoided++
 			return nil, nil
 		}
 	}
-	ideal, err := d.IdealAttnTime()
+	buckets := bucketByContext(d.Requests(), d.ctxLen, idealBuckets)
+	// Upper bound: re-evaluating the previous relaxation optimum on the
+	// current buckets certifies ideal ≤ U, so current > U·(1+θ) proves
+	// the redispatch is warranted without solving — the flagrant-
+	// imbalance mirror of the lower-bound skip (lb > 0 certifies
+	// ideal > 0, the other half of the act condition).
+	if !d.nocache && !d.nowarm && theta >= 0 && lb > 0 {
+		cache := d.idealCaches[len(buckets)]
+		if u := d.idealUpperBound(buckets, cache); current > u*(1+theta) {
+			d.LPSolvesAvoided++
+			return d.redispatchBottleneck(frozen)
+		}
+	}
+	ideal, exact, err := d.idealAttn(buckets)
 	if err != nil {
 		return nil, err
 	}
-	if ideal <= 0 || current <= ideal*(1+theta) {
+	act := ideal > 0 && current > ideal*(1+theta)
+	if exact != nil {
+		// The warm-started objective differs from the cold one only in
+		// last-ulp noise; decide directly when `current` sits comfortably
+		// outside the noise band around the threshold, and re-solve cold
+		// inside it (or for a degenerate near-zero objective, or an
+		// out-of-contract negative theta) so the decision stays bit-equal
+		// to the cache-free path.
+		lo := ideal * (1 - warmIdealMargin) * (1 + theta)
+		hi := ideal * (1 + warmIdealMargin) * (1 + theta)
+		if theta < 0 || ideal <= warmIdealFloor || (current > lo && current <= hi) {
+			ideal, err = exact()
+			if err != nil {
+				return nil, err
+			}
+			act = ideal > 0 && current > ideal*(1+theta)
+		} else {
+			d.LPWarmStarts++
+			act = current > hi
+		}
+	}
+	if !act {
 		return nil, nil
 	}
+	return d.redispatchBottleneck(frozen)
+}
+
+// redispatchBottleneck performs the §5.3.1 action: re-dispatch the
+// unfrozen request contributing most to the bottleneck device.
+func (d *Dispatcher) redispatchBottleneck(frozen map[RequestID]bool) (*Redispatch, error) {
 	// Bottleneck device.
 	bott := 0
 	maxT := -1.0

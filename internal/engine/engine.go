@@ -38,6 +38,11 @@ type Config struct {
 	// GreedyDispatch replaces the Eq. 7 LP with the greedy
 	// longest-processing-time heuristic (ablation).
 	GreedyDispatch bool
+	// DisableLPWarmStart turns off the dispatcher's warm-start/patching
+	// layer, keeping the exact-input memo and lower-bound skip — the
+	// pre-warm-start solver behavior BENCH.json baselines are recorded
+	// with. Decisions are identical either way; only solver work changes.
+	DisableLPWarmStart bool
 
 	// MaxPrefillTokens bounds the tokens prefilled per iteration.
 	MaxPrefillTokens int
@@ -188,6 +193,20 @@ type Result struct {
 	// dispatchers; LPSolvesAvoided counts solves the caching layer skipped.
 	// Both are zero for engines without dynamic dispatch.
 	LPSolves, LPSolvesAvoided int
+	// LPIdealSolves is the subset of LPSolves that were §5.3.1
+	// ideal-relaxation solves — the warm-startable (and most expensive)
+	// class.
+	LPIdealSolves int
+	// LPWarmStarts counts solves answered from a cached optimal basis
+	// (phase 1 skipped, decision-equivalence certified); LPPhase1Skips
+	// counts solver-level phase-1 skips including warm attempts whose
+	// result a guard then re-solved cold; LPPatchedRows counts constraint
+	// rows mutated in place when recurring LPs were re-posed as patches
+	// instead of rebuilt. See internal/dispatch.
+	LPWarmStarts, LPPhase1Skips, LPPatchedRows int
+	// LPSolveSeconds is wall-clock spent inside simplex solves, the
+	// numerator of the perf trajectory's "LP share of engine time".
+	LPSolveSeconds float64
 }
 
 // Throughput is completed requests per simulated second.

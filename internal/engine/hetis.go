@@ -248,6 +248,9 @@ func (h *Hetis) newInstance(idx int, in parallelizer.Instance, res *Result) (*he
 	if cfg.GreedyDispatch {
 		d.SetPolicy(dispatch.PolicyGreedy)
 	}
+	if cfg.DisableLPWarmStart {
+		d.SetWarmStart(false)
+	}
 	inst.disp = d
 	return inst, nil
 }
@@ -311,6 +314,11 @@ func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	for _, inst := range instances {
 		res.LPSolves += inst.disp.LPSolves
 		res.LPSolvesAvoided += inst.disp.LPSolvesAvoided
+		res.LPIdealSolves += inst.disp.LPIdealSolves
+		res.LPWarmStarts += inst.disp.LPWarmStarts
+		res.LPPhase1Skips += inst.disp.LPPhase1Skips
+		res.LPPatchedRows += inst.disp.LPPatchedRows
+		res.LPSolveSeconds += inst.disp.LPSolveSeconds
 	}
 	return res, nil
 }

@@ -9,6 +9,13 @@
 //	minimize    c·x
 //	subject to  aᵢ·x (≤ | = | ≥) bᵢ   for each constraint i
 //	            x ≥ 0
+//
+// Solve runs the classic two-phase method from scratch. Successive solves
+// of the same problem shape can skip phase 1 entirely: Solve returns the
+// optimal Basis, constraints can be patched in place with SetConstraint,
+// and SolveFrom refactors the tableau directly to the supplied basis and
+// resumes phase 2 from there (see warm.go). A frozen copy of the original
+// solver lives in reference.go as the differential-test oracle.
 package lp
 
 import (
@@ -73,9 +80,66 @@ type constraint struct {
 
 // Problem accumulates an LP. The zero value is unusable; create with New.
 type Problem struct {
+	// NoBasis skips capturing Result.Basis on Optimal cold solves.
+	// Callers that never warm-start from this problem (the dispatch
+	// placement path solves ~30x more often than it could ever reuse a
+	// basis) set it to keep the hot solve path free of the capture
+	// allocations. SolveFrom's warm path captures regardless — a warm
+	// start implies the basis is wanted.
+	NoBasis bool
+
 	n    int // number of decision variables
 	obj  []float64
 	cons []constraint
+
+	// Scratch reused across solves of this problem, so re-posing a
+	// patched problem allocates nothing once warm. Every buffer is fully
+	// overwritten (or zeroed) before use, so reuse is arithmetically
+	// invisible; only Result data (X, Basis) is freshly allocated because
+	// it escapes to the caller.
+	tab        [][]float64  // tableau rows
+	normBuf    []constraint // normalized-row view
+	flipBuf    []float64    // backing store for sign-flipped rows
+	basisBuf   []int        // row -> basic column
+	objBuf     []float64    // phase-1 / warm objective
+	obj2Buf    []float64    // phase-2 objective
+	blockedBuf []bool       // simplex blocked-column scratch
+	hotBuf     []int        // simplex hot-row scratch
+	basicBuf   []bool       // reduced-cost scans' basic-column marks
+	ownerBuf   []int        // warm refactorization slack owners
+	assignBuf  []bool       // warm refactorization row assignment
+}
+
+// floatScratch returns a zeroed length-n view of *buf, growing it as
+// needed.
+func floatScratch(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	s := (*buf)[:n]
+	clear(s)
+	return s
+}
+
+// intScratch returns a length-n view of *buf with unspecified contents
+// (callers fully assign it), growing as needed.
+func intScratch(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
+// boolScratch returns a zeroed length-n view of *buf, growing as needed.
+func boolScratch(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // New creates a problem with n non-negative decision variables and the
@@ -121,26 +185,101 @@ func (p *Problem) AddSparseConstraint(idx []int, coeffs []float64, op Op, rhs fl
 	p.cons = append(p.cons, constraint{coeffs: row, op: op, rhs: rhs})
 }
 
+// SetObjective replaces the objective coefficients in place (len(obj)
+// must be the variable count). Together with SetConstraint it lets a
+// caller re-pose a recurring problem shape as a patch against the
+// existing Problem instead of rebuilding it.
+func (p *Problem) SetObjective(obj []float64) {
+	if len(obj) != p.n {
+		panic(fmt.Sprintf("lp: objective has %d coefficients for %d variables", len(obj), p.n))
+	}
+	copy(p.obj, obj)
+}
+
+// SetConstraint overwrites constraint i with coeffs·x op rhs, like
+// AddConstraint but in place. It reports whether any coefficient, the
+// relation, or the right-hand side actually changed (bitwise comparison)
+// — the dispatch layer's patched-row telemetry. Sparse rows may pass a
+// short slice; missing coefficients are zero.
+func (p *Problem) SetConstraint(i int, coeffs []float64, op Op, rhs float64) bool {
+	if i < 0 || i >= len(p.cons) {
+		panic(fmt.Sprintf("lp: constraint index %d out of range [0,%d)", i, len(p.cons)))
+	}
+	if len(coeffs) > p.n {
+		panic(fmt.Sprintf("lp: constraint has %d coefficients for %d variables", len(coeffs), p.n))
+	}
+	c := &p.cons[i]
+	changed := c.op != op || c.rhs != rhs
+	c.op, c.rhs = op, rhs
+	for j := range c.coeffs {
+		var v float64
+		if j < len(coeffs) {
+			v = coeffs[j]
+		}
+		if c.coeffs[j] != v {
+			c.coeffs[j] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Basis is the row→basic-column assignment at an optimum, together with
+// the shape fingerprint (variable count and normalized relations) it is
+// valid for. Solve and SolveFrom return the final basis; SolveFrom
+// accepts one to warm-start a later solve of the same shape.
+type Basis struct {
+	n    int   // structural variable count of the producing problem
+	cols []int // basic column per tableau row, solver column numbering
+	ops  []Op  // per-row relations after rhs-sign normalization
+}
+
+// NumRows returns the constraint-row count the basis was produced for.
+func (b *Basis) NumRows() int { return len(b.cols) }
+
 // Result is the outcome of Solve.
 type Result struct {
 	Status    Status
 	X         []float64 // optimal point (valid when Status == Optimal)
 	Objective float64   // c·x at the optimum
+	// Basis is the final basis of an Optimal solve (nil otherwise), for
+	// warm-starting a subsequent SolveFrom of the same problem shape.
+	Basis *Basis
+
+	// gap carries the warm path's uniqueness certificate from solveWarm
+	// to SolveFrom, which surfaces it as SolveStats.Gap.
+	gap float64
 }
 
 const eps = 1e-9
 
-// Solve runs two-phase simplex and returns the optimum.
-func (p *Problem) Solve() (Result, error) {
-	m := len(p.cons)
+// normalizeRows returns the constraints with rhs sign-normalized to be
+// non-negative (flipping coefficients and relation where needed) — the
+// canonical form both Solve and SolveFrom build tableaux from.
+// The returned slice (and the flipped rows backing it) is scratch owned
+// by the Problem, valid until the next solve-family call.
+func (p *Problem) normalizeRows() []constraint {
 	n := p.n
-
-	// Normalize rows to rhs >= 0.
-	rows := make([]constraint, m)
+	m := len(p.cons)
+	if cap(p.normBuf) < m {
+		p.normBuf = make([]constraint, m)
+	}
+	rows := p.normBuf[:m]
+	nFlip := 0
+	for _, c := range p.cons {
+		if c.rhs < 0 {
+			nFlip++
+		}
+	}
+	if cap(p.flipBuf) < nFlip*n {
+		p.flipBuf = make([]float64, nFlip*n)
+	}
+	k := 0
 	for i, c := range p.cons {
 		rows[i] = c
 		if c.rhs < 0 {
-			flipped := make([]float64, n)
+			flipped := p.flipBuf[k*n : (k+1)*n : (k+1)*n]
+			k++
 			for j, v := range c.coeffs {
 				flipped[j] = -v
 			}
@@ -156,11 +295,12 @@ func (p *Problem) Solve() (Result, error) {
 			rows[i] = constraint{coeffs: flipped, op: op, rhs: -c.rhs}
 		}
 	}
+	return rows
+}
 
-	// Count auxiliary columns: one slack/surplus per inequality, one
-	// artificial per >= or = row.
-	nSlack := 0
-	nArt := 0
+// slackArtCount returns the auxiliary-column counts of the normalized
+// rows: one slack/surplus per inequality, one artificial per >= or = row.
+func slackArtCount(rows []constraint) (nSlack, nArt int) {
 	for _, c := range rows {
 		if c.op != EQ {
 			nSlack++
@@ -169,16 +309,55 @@ func (p *Problem) Solve() (Result, error) {
 			nArt++
 		}
 	}
+	return nSlack, nArt
+}
+
+// tableauRows returns m zeroed rows of the given width, reusing the
+// problem's scratch when the shape matches. Zeroed reuse is bit-identical
+// to fresh allocation.
+func (p *Problem) tableauRows(m, width int) [][]float64 {
+	if len(p.tab) != m || (m > 0 && len(p.tab[0]) != width) {
+		p.tab = make([][]float64, m)
+		for i := range p.tab {
+			p.tab[i] = make([]float64, width)
+		}
+		return p.tab
+	}
+	for i := range p.tab {
+		clear(p.tab[i])
+	}
+	return p.tab
+}
+
+// captureBasis snapshots the final row→column assignment plus the shape
+// fingerprint SolveFrom validates against.
+func captureBasis(n int, basis []int, rows []constraint) *Basis {
+	b := &Basis{n: n, cols: append([]int(nil), basis...), ops: make([]Op, len(rows))}
+	for i, c := range rows {
+		b.ops[i] = c.op
+	}
+	return b
+}
+
+// Solve runs two-phase simplex and returns the optimum.
+func (p *Problem) Solve() (Result, error) {
+	m := len(p.cons)
+	n := p.n
+
+	// Normalize rows to rhs >= 0.
+	rows := p.normalizeRows()
+
+	nSlack, nArt := slackArtCount(rows)
 	total := n + nSlack + nArt
 
 	// Build tableau: m rows × (total+1) columns, last column is rhs.
-	tab := make([][]float64, m)
-	basis := make([]int, m)
+	tab := p.tableauRows(m, total+1)
+	basis := intScratch(&p.basisBuf, m)
 	slackCol := n
 	artCol := n + nSlack
 	artStart := artCol
 	for i, c := range rows {
-		row := make([]float64, total+1)
+		row := tab[i]
 		copy(row, c.coeffs)
 		row[total] = c.rhs
 		switch c.op {
@@ -197,16 +376,15 @@ func (p *Problem) Solve() (Result, error) {
 			basis[i] = artCol
 			artCol++
 		}
-		tab[i] = row
 	}
 
 	if nArt > 0 {
 		// Phase 1: minimize the sum of artificial variables.
-		phase1 := make([]float64, total)
+		phase1 := floatScratch(&p.objBuf, total)
 		for j := artStart; j < artStart+nArt; j++ {
 			phase1[j] = 1
 		}
-		status := simplex(tab, basis, phase1)
+		status := p.simplex(tab, basis, phase1)
 		if status == Unbounded {
 			return Result{Status: Infeasible}, fmt.Errorf("%w: phase 1 unbounded (numerical trouble)", ErrNotOptimal)
 		}
@@ -244,12 +422,12 @@ func (p *Problem) Solve() (Result, error) {
 
 	// Phase 2: original objective (artificial columns fixed at zero: mask
 	// them so they never re-enter).
-	phase2 := make([]float64, total)
+	phase2 := floatScratch(&p.obj2Buf, total)
 	copy(phase2, p.obj)
 	for j := artStart; j < artStart+nArt; j++ {
 		phase2[j] = math.Inf(1) // sentinel: blocked column
 	}
-	status := simplex(tab, basis, phase2)
+	status := p.simplex(tab, basis, phase2)
 	if status == Unbounded {
 		return Result{Status: Unbounded}, fmt.Errorf("%w: unbounded", ErrNotOptimal)
 	}
@@ -264,12 +442,17 @@ func (p *Problem) Solve() (Result, error) {
 	for j := 0; j < n; j++ {
 		obj += p.obj[j] * x[j]
 	}
-	return Result{Status: Optimal, X: x, Objective: obj}, nil
+	res := Result{Status: Optimal, X: x, Objective: obj}
+	if !p.NoBasis {
+		res.Basis = captureBasis(n, basis, rows)
+	}
+	return res, nil
 }
 
 // simplex optimizes the tableau in place for objective c (length = number
 // of structural columns; +Inf marks blocked columns). Returns Optimal or
-// Unbounded.
+// Unbounded. It is a Problem method only to borrow per-problem scratch;
+// the arithmetic is pure.
 //
 // Reduced costs r_j = c_j − c_B·B⁻¹A_j are computed directly from the
 // tableau, skipping basic variables with zero cost — exactly what the
@@ -280,20 +463,20 @@ func (p *Problem) Solve() (Result, error) {
 // tiny (the artificial rows in phase 1, usually a single row in phase
 // 2), which turns the entering-column scan from O(columns × rows) into
 // O(columns × |hot rows|).
-func simplex(tab [][]float64, basis []int, c []float64) Status {
+func (p *Problem) simplex(tab [][]float64, basis []int, c []float64) Status {
 	m := len(tab)
 	if m == 0 {
 		return Optimal
 	}
 	total := len(tab[0]) - 1
-	blocked := make([]bool, len(c))
+	blocked := boolScratch(&p.blockedBuf, len(c))
 	for j, cj := range c {
 		blocked[j] = math.IsInf(cj, 1)
 	}
 	// hot lists the basic rows whose basis variable carries nonzero cost,
 	// in ascending row order (the accumulation order of the original
 	// loop). Rebuilt after every pivot, O(m).
-	hot := make([]int, 0, m)
+	hot := intScratch(&p.hotBuf, m)[:0]
 	rebuildHot := func() {
 		hot = hot[:0]
 		for i, b := range basis {

@@ -1,0 +1,408 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Warm-start tolerances. The dispatch layer adds its own decision-level
+// guards on top; these only decide whether a supplied basis is usable at
+// all.
+const (
+	// warmPivotTol rejects a basis whose refactorization would pivot on a
+	// (near-)singular element: the patched columns no longer form a basis.
+	warmPivotTol = 1e-9
+	// warmFeasTol is the tolerance under which a slightly negative
+	// refactored basic value is clamped to zero; anything larger routes
+	// through the dual-simplex repair (or, failing that, the cold path).
+	warmFeasTol = 1e-9
+	// warmCheckTol is the relative constraint-violation budget of the
+	// post-solve verification; a warm result violating it is discarded and
+	// the solve falls back to the cold two-phase path.
+	warmCheckTol = 1e-7
+)
+
+// SolveStats describes how a SolveFrom call ran.
+type SolveStats struct {
+	// WarmStarted reports that the supplied basis was accepted: the
+	// tableau was refactored directly to it and phase 1 never ran. False
+	// means the call fell back to the cold two-phase Solve (nil basis,
+	// shape mismatch, singular or infeasible basis, or a warm result that
+	// failed post-solve verification).
+	WarmStarted bool
+	// Gap is the smallest scaled reduced cost over nonbasic columns at
+	// the warm optimum (+Inf when every column is basic) — a uniqueness
+	// certificate: a strictly positive gap proves the optimal point is
+	// unique, so any correct solver returns the same solution. Valid only
+	// when WarmStarted and the result is Optimal.
+	Gap float64
+	// Fallback names the warm precondition that failed when WarmStarted
+	// is false and a basis was supplied: "shape", "ops", "artificial",
+	// "singular", "dual-infeasible", "dual-unbounded", or "violation".
+	// Empty when the warm path ran (or no basis was given).
+	Fallback string
+}
+
+// SolveFrom solves the problem like Solve, but when the supplied basis
+// fits the current problem shape it refactors the tableau directly to
+// that basis and resumes phase-2 simplex from there, skipping phase 1
+// entirely. With a nil or unusable basis (or when any warm sanity check
+// fails) it falls back to Solve, so the result is always valid; stats
+// report which path ran. Cold results are bit-identical to Solve; warm
+// results are verified feasible and share the optimal objective, but may
+// differ from Solve in final-ulp noise or — when the optimum is not
+// unique (stats.Gap ≈ 0) — land on another optimal vertex.
+func (p *Problem) SolveFrom(b *Basis) (Result, SolveStats, error) {
+	if b == nil {
+		res, err := p.Solve()
+		return res, SolveStats{}, err
+	}
+	res, stage, err := p.solveWarm(b)
+	if stage == "" {
+		return res, SolveStats{WarmStarted: true, Gap: res.gap}, err
+	}
+	res, err = p.Solve()
+	return res, SolveStats{Fallback: stage}, err
+}
+
+// reject is solveWarm's bail-out: the stage names the warm precondition
+// that failed, telling the caller to run the cold path (and SolveStats
+// consumers why).
+func reject(stage string) (Result, string, error) {
+	return Result{}, stage, nil
+}
+
+// solveWarm attempts the warm-started solve; the unexported Result.gap
+// field carries the uniqueness certificate out to SolveFrom.
+func (p *Problem) solveWarm(b *Basis) (Result, string, error) {
+	m := len(p.cons)
+	n := p.n
+	if b == nil || b.n != n || len(b.cols) != m || len(b.ops) != m {
+		return reject("shape")
+	}
+	rows := p.normalizeRows()
+	for i, c := range rows {
+		if c.op != b.ops[i] {
+			// A rhs sign flip changed the slack layout; the basis column
+			// numbering no longer lines up.
+			return reject("ops")
+		}
+	}
+	nSlack, _ := slackArtCount(rows)
+	total := n + nSlack
+	for _, c := range b.cols {
+		if c < 0 || c >= total {
+			// The basis holds an artificial column (a redundant row in the
+			// producing solve); it cannot seed an artificial-free tableau.
+			return reject("artificial")
+		}
+	}
+
+	// Build the artificial-free tableau: structural + slack/surplus
+	// columns, rhs last. Rows are equilibrated to unit max magnitude —
+	// the dispatch LPs mix byte-scale capacity rows with second-scale
+	// epigraph rows, and row scaling leaves B⁻¹A and the basic solution
+	// unchanged in exact arithmetic while making the pivot and
+	// feasibility tolerances meaningful across rows.
+	tab := p.tableauRows(m, total+1)
+	slackOwner := intScratch(&p.ownerBuf, total-n) // slack column (offset by n) → owning row
+	slackCol := n
+	for i, c := range rows {
+		row := tab[i]
+		copy(row, c.coeffs)
+		row[total] = c.rhs
+		switch c.op {
+		case LE:
+			row[slackCol] = 1
+			slackOwner[slackCol-n] = i
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackOwner[slackCol-n] = i
+			slackCol++
+		}
+		scale := 0.0
+		for j := 0; j < total; j++ {
+			if a := math.Abs(row[j]); a > scale {
+				scale = a
+			}
+		}
+		if scale > 0 && scale != 1 {
+			inv := 1 / scale
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+
+	// Refactor to the supplied basis columns. Only the column SET matters
+	// (the producing solve's row↔column pairing is not an elimination
+	// order for the patched matrix). Slack and surplus columns are
+	// singletons, so they claim their own rows first — an exact
+	// triangular step with no fill-in — and only the structural basis
+	// columns need Gaussian elimination, with partial pivoting over the
+	// rows the slacks left unclaimed. Eliminating in the reverse order
+	// (structural first) can consume a slack's only row and leave the
+	// slack column nothing but fill-in noise.
+	basis := intScratch(&p.basisBuf, m)
+	for i := range basis {
+		basis[i] = -1
+	}
+	assigned := boolScratch(&p.assignBuf, m)
+	for _, col := range b.cols {
+		if col < n {
+			continue
+		}
+		i := slackOwner[col-n]
+		if assigned[i] || tab[i][col] == 0 {
+			return reject("singular")
+		}
+		pivot(tab, basis, i, col)
+		assigned[i] = true
+	}
+	for _, col := range b.cols {
+		if col >= n {
+			continue
+		}
+		best, bestAbs := -1, warmPivotTol
+		for i := 0; i < m; i++ {
+			if !assigned[i] {
+				if a := math.Abs(tab[i][col]); a > bestAbs {
+					best, bestAbs = i, a
+				}
+			}
+		}
+		if best < 0 {
+			return reject("singular")
+		}
+		pivot(tab, basis, best, col)
+		assigned[best] = true
+	}
+
+	c := floatScratch(&p.objBuf, total)
+	copy(c, p.obj)
+
+	// Primal feasibility: the refactored rhs must be non-negative (tiny
+	// negatives are clamped — the post-solve verification bounds the
+	// damage). A meaningfully negative rhs means the data drifted past the
+	// old vertex; if the basis is still DUAL feasible (it always is under
+	// rhs-only patches — reduced costs don't depend on b), dual simplex
+	// pivots restore primal feasibility far cheaper than a cold phase 1.
+	infeasible := false
+	for i := 0; i < m; i++ {
+		rhs := tab[i][total]
+		if rhs < 0 {
+			if rhs < -warmFeasTol {
+				infeasible = true
+				break
+			}
+			tab[i][total] = 0
+		}
+	}
+	if infeasible {
+		if !p.dualFeasible(tab, basis, c) {
+			return reject("dual-infeasible")
+		}
+		if !dualSimplex(tab, basis, c) {
+			// Dual unbounded (primal infeasible) or out of iterations:
+			// let the cold path classify and report it the legacy way.
+			return reject("dual-unbounded")
+		}
+	}
+
+	// Phase 2 from the warm basis, original objective, no blocked columns.
+	if status := p.simplex(tab, basis, c); status == Unbounded {
+		return Result{Status: Unbounded}, "", fmt.Errorf("%w: unbounded", ErrNotOptimal)
+	}
+
+	x := make([]float64, n)
+	for i, bc := range basis {
+		if bc < n {
+			x[bc] = tab[i][total]
+		}
+	}
+	var obj float64
+	for j := 0; j < n; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	// Verify against the original constraints: forced pivots on a
+	// near-degenerate basis can amplify rounding; a result that drifted
+	// out of the feasible region is discarded, not returned.
+	if p.Violation(x) > warmCheckTol {
+		return reject("violation")
+	}
+	res := Result{Status: Optimal, X: x, Objective: obj, Basis: captureBasis(n, basis, rows)}
+	// The gap sweep costs one extra pricing pass — noise next to the m
+	// refactorization pivots above — and keeps SolveStats.Gap a reliable
+	// part of the warm contract for every consumer.
+	res.gap = p.reducedCostGap(tab, basis, c, rows, n)
+	return res, "", nil
+}
+
+// dualFeasible reports whether every nonbasic reduced cost of the
+// tableau is non-negative (within the solver tolerance) — the
+// precondition for dual simplex.
+func (p *Problem) dualFeasible(tab [][]float64, basis []int, c []float64) bool {
+	m := len(tab)
+	total := len(tab[0]) - 1
+	isBasic := boolScratch(&p.basicBuf, total)
+	for _, b := range basis {
+		isBasic[b] = true
+	}
+	for j := 0; j < total; j++ {
+		if isBasic[j] {
+			continue
+		}
+		r := c[j]
+		for i := 0; i < m; i++ {
+			if cb := c[basis[i]]; cb != 0 {
+				r -= cb * tab[i][j]
+			}
+		}
+		if r < -eps {
+			return false
+		}
+	}
+	return true
+}
+
+// dualSimplex restores primal feasibility of a dual-feasible tableau:
+// rows with negative rhs leave the basis, the entering column chosen by
+// the dual ratio test (smallest reduced-cost-to-pivot ratio, Bland-style
+// index tie-breaking for determinism). Returns false when the dual is
+// unbounded — the primal is infeasible — or the iteration cap trips.
+func dualSimplex(tab [][]float64, basis []int, c []float64) bool {
+	m := len(tab)
+	total := len(tab[0]) - 1
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			return false
+		}
+		// Leaving row: most negative rhs; ties to the smallest basic
+		// variable index.
+		leave := -1
+		worst := -eps
+		for i := 0; i < m; i++ {
+			rhs := tab[i][total]
+			if rhs < worst-eps || (rhs < worst+eps && rhs < -eps && (leave == -1 || basis[i] < basis[leave])) {
+				worst = rhs
+				leave = i
+			}
+		}
+		if leave == -1 {
+			for i := 0; i < m; i++ {
+				if tab[i][total] < 0 {
+					tab[i][total] = 0 // clamp tolerated residue
+				}
+			}
+			return true
+		}
+		// Entering column: dual ratio test over negative pivot candidates.
+		enter := -1
+		best := math.Inf(1)
+		for j := 0; j < total; j++ {
+			a := tab[leave][j]
+			if a >= -eps {
+				continue
+			}
+			r := c[j]
+			for i := 0; i < m; i++ {
+				if cb := c[basis[i]]; cb != 0 {
+					r -= cb * tab[i][j]
+				}
+			}
+			if r < 0 {
+				r = 0 // dual-feasibility tolerance residue
+			}
+			ratio := r / -a
+			if ratio < best-eps || (ratio < best+eps && (enter == -1 || j < enter)) {
+				best = ratio
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return false
+		}
+		pivot(tab, basis, leave, enter)
+	}
+}
+
+// reducedCostGap returns the minimum scaled reduced cost over nonbasic
+// columns of an optimal tableau — the uniqueness certificate SolveStats
+// reports. Costs are scaled per column by the largest original-matrix
+// magnitude so byte-scale and head-scale columns are comparable.
+func (p *Problem) reducedCostGap(tab [][]float64, basis []int, c []float64, rows []constraint, n int) float64 {
+	m := len(tab)
+	if m == 0 {
+		return math.Inf(1)
+	}
+	total := len(tab[0]) - 1
+	isBasic := boolScratch(&p.basicBuf, total)
+	for _, b := range basis {
+		if b >= 0 && b < total {
+			isBasic[b] = true
+		}
+	}
+	gap := math.Inf(1)
+	for j := 0; j < total; j++ {
+		if isBasic[j] {
+			continue
+		}
+		r := c[j]
+		for i := 0; i < m; i++ {
+			if cb := c[basis[i]]; cb != 0 {
+				r -= cb * tab[i][j]
+			}
+		}
+		scale := 1.0
+		if j < n {
+			if v := math.Abs(c[j]); v > scale {
+				scale = v
+			}
+			for i := range rows {
+				if v := math.Abs(rows[i].coeffs[j]); v > scale {
+					scale = v
+				}
+			}
+		}
+		if r /= scale; r < gap {
+			gap = r
+		}
+	}
+	return gap
+}
+
+// Violation returns the largest relative constraint violation of x
+// (including x ≥ 0), each scaled by the constraint's own magnitude. Zero
+// means feasible; the warm path uses it as its post-solve check and the
+// differential tests as their feasibility oracle.
+func (p *Problem) Violation(x []float64) float64 {
+	worst := 0.0
+	for _, xi := range x {
+		if -xi > worst {
+			worst = -xi
+		}
+	}
+	for _, c := range p.cons {
+		var dot, scale float64
+		scale = 1 + math.Abs(c.rhs)
+		for j, a := range c.coeffs {
+			t := a * x[j]
+			dot += t
+			scale += math.Abs(t)
+		}
+		var v float64
+		switch c.op {
+		case LE:
+			v = dot - c.rhs
+		case GE:
+			v = c.rhs - dot
+		case EQ:
+			v = math.Abs(dot - c.rhs)
+		}
+		if v /= scale; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,278 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a bounded random LP (box constraints keep it from
+// being unbounded) plus a mirror copy for the reference solver, shared by
+// the differential tests and the fuzzer.
+func randomMixedProblem(rng *rand.Rand, nVars, nCons int) *Problem {
+	c := make([]float64, nVars)
+	for j := range c {
+		c[j] = rng.Float64()*4 - 1
+	}
+	p := New(nVars, c)
+	for i := 0; i < nCons; i++ {
+		a := make([]float64, nVars)
+		for j := range a {
+			a[j] = rng.Float64() * 2
+		}
+		switch rng.Intn(4) {
+		case 0:
+			p.AddConstraint(a, GE, rng.Float64()*2)
+		case 1:
+			p.AddConstraint(a, EQ, rng.Float64()*6+1)
+		default:
+			p.AddConstraint(a, LE, rng.Float64()*10+1)
+		}
+	}
+	for j := 0; j < nVars; j++ {
+		row := make([]float64, nVars)
+		row[j] = 1
+		p.AddConstraint(row, LE, 50)
+	}
+	return p
+}
+
+// perturb patches every constraint's rhs (and an occasional coefficient)
+// by small amounts, modeling the between-solve drift of the dispatch LPs.
+func perturb(p *Problem, rng *rand.Rand) {
+	for i := 0; i < p.NumConstraints(); i++ {
+		c := p.cons[i]
+		coeffs := append([]float64(nil), c.coeffs...)
+		if rng.Intn(3) == 0 {
+			j := rng.Intn(len(coeffs))
+			coeffs[j] = math.Abs(coeffs[j] + (rng.Float64()-0.5)*0.1)
+		}
+		p.SetConstraint(i, coeffs, c.op, c.rhs*(1+(rng.Float64()-0.5)*0.05))
+	}
+}
+
+// TestSolveMatchesReference pins the cold path bit-for-bit against the
+// frozen pre-warm-start solver: identical status, solution, and
+// objective on random problems — "bit-equal when no basis is given".
+func TestSolveMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		p := randomMixedProblem(rng, 2+rng.Intn(4), 2+rng.Intn(4))
+		got, gotErr := p.Solve()
+		want, wantErr := referenceSolve(p)
+		if got.Status != want.Status || (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d: status %v/%v want %v/%v", trial, got.Status, gotErr, want.Status, wantErr)
+		}
+		if got.Status != Optimal {
+			continue
+		}
+		if got.Objective != want.Objective {
+			t.Fatalf("trial %d: objective %v != reference %v (must be bit-equal)", trial, got.Objective, want.Objective)
+		}
+		for j := range want.X {
+			if got.X[j] != want.X[j] {
+				t.Fatalf("trial %d: x[%d] = %v != reference %v", trial, j, got.X[j], want.X[j])
+			}
+		}
+	}
+}
+
+// TestSolveFromNilIsCold pins the nil-basis fallback: SolveFrom(nil)
+// must be the cold solve, bit-for-bit, with WarmStarted false.
+func TestSolveFromNilIsCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomMixedProblem(rng, 3, 4)
+	warm, stats, err1 := p.SolveFrom(nil)
+	cold, err2 := p.Solve()
+	if stats.WarmStarted {
+		t.Fatal("nil basis reported WarmStarted")
+	}
+	if (err1 == nil) != (err2 == nil) || warm.Status != cold.Status || warm.Objective != cold.Objective {
+		t.Fatalf("SolveFrom(nil) = %v/%v, Solve = %v/%v", warm.Status, err1, cold.Status, err2)
+	}
+}
+
+// TestWarmStartAfterPatch is the core warm-start contract: solve, patch
+// the problem slightly, re-solve from the previous basis. The warm path
+// must engage (phase 1 skipped) and agree with the reference solver on
+// status, objective (1e-9), and feasibility.
+func TestWarmStartAfterPatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	warmed := 0
+	for trial := 0; trial < 300; trial++ {
+		p := randomMixedProblem(rng, 2+rng.Intn(4), 2+rng.Intn(4))
+		first, err := p.Solve()
+		if err != nil {
+			continue // infeasible instances have no basis to reuse
+		}
+		perturb(p, rng)
+		got, stats, gotErr := p.SolveFrom(first.Basis)
+		want, wantErr := referenceSolve(p)
+		if got.Status != want.Status || (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d: status %v/%v want %v/%v (warm=%v)", trial, got.Status, gotErr, want.Status, wantErr, stats.WarmStarted)
+		}
+		if got.Status != Optimal {
+			continue
+		}
+		if stats.WarmStarted {
+			warmed++
+		}
+		tol := 1e-9 * (1 + math.Abs(want.Objective))
+		if math.Abs(got.Objective-want.Objective) > tol {
+			t.Fatalf("trial %d: warm objective %v != reference %v", trial, got.Objective, want.Objective)
+		}
+		if v := p.Violation(got.X); v > 1e-7 {
+			t.Fatalf("trial %d: warm solution infeasible (violation %g)", trial, v)
+		}
+		if got.Basis == nil {
+			t.Fatalf("trial %d: optimal result carries no basis", trial)
+		}
+	}
+	if warmed == 0 {
+		t.Fatal("warm path never engaged across 300 patched re-solves")
+	}
+	t.Logf("warm-started %d re-solves", warmed)
+}
+
+// TestWarmStartShapeMismatchFallsBack feeds a basis from a different
+// problem shape; SolveFrom must quietly run the cold path.
+func TestWarmStartShapeMismatchFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	small := randomMixedProblem(rng, 2, 2)
+	res, err := small.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := randomMixedProblem(rng, 4, 5)
+	got, stats, gotErr := big.SolveFrom(res.Basis)
+	if stats.WarmStarted {
+		t.Fatal("shape-mismatched basis was accepted")
+	}
+	cold, coldErr := big.Solve()
+	if (gotErr == nil) != (coldErr == nil) || got.Status != cold.Status || got.Objective != cold.Objective {
+		t.Fatalf("fallback %v/%v (err %v) != cold %v/%v (err %v)",
+			got.Status, got.Objective, gotErr, cold.Status, cold.Objective, coldErr)
+	}
+}
+
+// TestWarmStartInfeasiblePatch drives the patched problem infeasible;
+// the stale basis cannot be feasible, so the fallback must report
+// Infeasible exactly like the cold path.
+func TestWarmStartInfeasiblePatch(t *testing.T) {
+	p := New(1, []float64{1})
+	p.AddConstraint([]float64{1}, LE, 5)
+	p.AddConstraint([]float64{1}, GE, 1)
+	first, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetConstraint(1, []float64{1}, GE, 10) // now 10 <= x <= 5: empty
+	res, stats, err := p.SolveFrom(first.Basis)
+	if err == nil || res.Status != Infeasible {
+		t.Fatalf("want infeasible, got %v err=%v (warm=%v)", res.Status, err, stats.WarmStarted)
+	}
+}
+
+// TestWarmGapCertifiesUniqueness checks the uniqueness certificate: a
+// problem with a strict unique optimum reports a positive gap, one with
+// a whole optimal edge reports a (near-)zero gap.
+func TestWarmGapCertifiesUniqueness(t *testing.T) {
+	unique := New(2, []float64{1, 2}) // min x+2y, x+y >= 2 -> unique (2,0)
+	unique.AddConstraint([]float64{1, 1}, GE, 2)
+	first, err := unique.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := unique.SolveFrom(first.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.WarmStarted || stats.Gap <= 0 {
+		t.Fatalf("unique optimum: warm=%v gap=%g, want warm with positive gap", stats.WarmStarted, stats.Gap)
+	}
+
+	edge := New(2, []float64{1, 1}) // min x+y, x+y >= 2 -> any point on the edge
+	edge.AddConstraint([]float64{1, 1}, GE, 2)
+	first, err = edge.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = edge.SolveFrom(first.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.WarmStarted || stats.Gap > 1e-9 {
+		t.Fatalf("degenerate optimum: warm=%v gap=%g, want warm with ~zero gap", stats.WarmStarted, stats.Gap)
+	}
+}
+
+// TestSetConstraintReportsChanges pins the patch telemetry: identical
+// rewrites report false, any coefficient/op/rhs change reports true, and
+// short rows imply zeros.
+func TestSetConstraintReportsChanges(t *testing.T) {
+	p := New(3, []float64{1, 1, 1})
+	p.AddConstraint([]float64{1, 2, 3}, LE, 4)
+	if p.SetConstraint(0, []float64{1, 2, 3}, LE, 4) {
+		t.Error("identical rewrite reported a change")
+	}
+	if !p.SetConstraint(0, []float64{1, 2, 3}, LE, 5) {
+		t.Error("rhs change not reported")
+	}
+	if !p.SetConstraint(0, []float64{1, 2, 3}, GE, 5) {
+		t.Error("op change not reported")
+	}
+	if !p.SetConstraint(0, []float64{1, 2}, GE, 5) {
+		t.Error("short row (implicit zero) change not reported")
+	}
+	if p.SetConstraint(0, []float64{1, 2, 0}, GE, 5) {
+		t.Error("explicit zero equals implicit zero but reported a change")
+	}
+	res, err := p.Solve()
+	if err != nil || math.Abs(res.Objective-2.5) > 1e-9 {
+		t.Fatalf("patched problem solve = %v, %v (want objective 2.5)", res, err)
+	}
+}
+
+// TestSetObjectivePatches re-poses the objective in place.
+func TestSetObjectivePatches(t *testing.T) {
+	p := New(2, []float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, GE, 2)
+	p.SetObjective([]float64{3, 1}) // optimum moves to (0, 2)
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-2) > 1e-9 || math.Abs(res.X[1]-2) > 1e-9 {
+		t.Fatalf("objective patch ignored: %+v", res)
+	}
+}
+
+// TestNoBasisSkipsCapture pins the placement-path knob: a NoBasis
+// problem solves identically but returns no basis.
+func TestNoBasisSkipsCapture(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := randomMixedProblem(rng, 3, 4)
+	with, err1 := p.Solve()
+	p.NoBasis = true
+	without, err2 := p.Solve()
+	if (err1 == nil) != (err2 == nil) || with.Status != without.Status || with.Objective != without.Objective {
+		t.Fatalf("NoBasis changed the solve: %v/%v vs %v/%v", with.Status, err1, without.Status, err2)
+	}
+	if err1 == nil && (with.Basis == nil || without.Basis != nil) {
+		t.Fatalf("basis capture: with=%v without=%v, want non-nil/nil", with.Basis, without.Basis)
+	}
+}
+
+// TestScratchReuseIsInvisible re-solves the same problem twice (scratch
+// cold, then warm) and demands bit-identical results.
+func TestScratchReuseIsInvisible(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		p := randomMixedProblem(rng, 2+rng.Intn(3), 2+rng.Intn(4))
+		a, errA := p.Solve()
+		b, errB := p.Solve()
+		if (errA == nil) != (errB == nil) || a.Status != b.Status || a.Objective != b.Objective {
+			t.Fatalf("trial %d: repeat solve drifted: %v/%v vs %v/%v", trial, a.Status, errA, b.Status, errB)
+		}
+	}
+}

@@ -12,10 +12,11 @@ import (
 
 // Event is a callback scheduled to run at a particular virtual time.
 //
-// Events are pooled: once an event has fired, its struct may be recycled
-// for a later Schedule call. A handle returned by Schedule/After is
-// therefore only valid for Cancel until the event fires; cancelling a
-// handle after its event ran is undefined (it may alias a newer event).
+// Events are pooled: once an event has fired (or been cancelled), its
+// struct may be recycled for a later Schedule call. Handles carry the
+// generation at which they were issued, so cancelling a handle whose
+// event already ran — even if the struct now backs a newer event — is a
+// safe no-op.
 type Event struct {
 	// At is the virtual time, in seconds, at which the event fires.
 	At float64
@@ -27,6 +28,15 @@ type Event struct {
 
 	seq   uint64 // insertion order, for deterministic tie-breaking
 	index int    // heap index
+	gen   uint64 // bumped whenever the struct retires, invalidating handles
+}
+
+// Handle identifies one scheduled occurrence of a (possibly recycled)
+// Event for cancellation. The zero Handle is inert: Cancel returns
+// false for it.
+type Handle struct {
+	ev  *Event
+	gen uint64
 }
 
 // eventQueue implements heap.Interface ordered by (At, seq).
@@ -77,8 +87,9 @@ type Simulator struct {
 	// events. It protects experiments from accidental infinite loops.
 	MaxEvents uint64
 
-	// free recycles fired events; Schedule pops from it before allocating.
-	// Cancelled events are not recycled (their handles stay live).
+	// free recycles retired (fired or cancelled) events; Schedule pops
+	// from it before allocating. Generation counters keep stale handles
+	// from aliasing recycled structs.
 	free []*Event
 }
 
@@ -93,7 +104,7 @@ func (s *Simulator) Now() float64 { return s.now }
 // Schedule registers fn to run at absolute time at. Scheduling in the past
 // (before Now) is clamped to Now; this makes "run immediately after current
 // event" trivially safe. It returns the event so callers may cancel it.
-func (s *Simulator) Schedule(at float64, name string, fn func(s *Simulator)) *Event {
+func (s *Simulator) Schedule(at float64, name string, fn func(s *Simulator)) Handle {
 	if math.IsNaN(at) {
 		panic(fmt.Sprintf("sim: NaN schedule time for event %q", name))
 	}
@@ -104,32 +115,38 @@ func (s *Simulator) Schedule(at float64, name string, fn func(s *Simulator)) *Ev
 	if n := len(s.free); n > 0 {
 		ev = s.free[n-1]
 		s.free = s.free[:n-1]
-		*ev = Event{At: at, Name: name, Fn: fn, seq: s.nextSeq}
+		*ev = Event{At: at, Name: name, Fn: fn, seq: s.nextSeq, gen: ev.gen}
 	} else {
 		ev = &Event{At: at, Name: name, Fn: fn, seq: s.nextSeq}
 	}
 	s.nextSeq++
 	heap.Push(&s.queue, ev)
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run delay seconds after the current time.
-func (s *Simulator) After(delay float64, name string, fn func(s *Simulator)) *Event {
+func (s *Simulator) After(delay float64, name string, fn func(s *Simulator)) Handle {
 	if delay < 0 {
 		delay = 0
 	}
 	return s.Schedule(s.now+delay, name, fn)
 }
 
-// Cancel removes a pending event from the queue; it returns false for an
-// already-cancelled event. Handles must not be cancelled after their event
-// fires: fired events are pooled, so a stale handle may alias a newer
-// event (see Event).
-func (s *Simulator) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 || ev.index >= len(s.queue) || s.queue[ev.index] != ev {
+// Cancel removes the handle's event from the queue if it is still
+// pending. It returns false — safely, with no side effects — for the
+// zero Handle, an already-cancelled handle, or a stale handle whose
+// event has fired (the generation check makes aliasing a recycled
+// struct impossible). Cancelled event structs are recycled like fired
+// ones.
+func (s *Simulator) Cancel(h Handle) bool {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.index < 0 || ev.index >= len(s.queue) || s.queue[ev.index] != ev {
 		return false
 	}
 	heap.Remove(&s.queue, ev.index)
+	ev.gen++ // retire: outstanding handles to this occurrence go stale
+	ev.Fn = nil
+	s.free = append(s.free, ev)
 	return true
 }
 
@@ -168,6 +185,7 @@ func (s *Simulator) Run(horizon float64) error {
 		}
 		ev.Fn(s)
 		ev.Fn = nil // drop the closure before pooling
+		ev.gen++    // retire: handles to the fired occurrence go stale
 		s.free = append(s.free, ev)
 	}
 	if horizon > 0 && !s.stopped && len(s.queue) == 0 && s.now < horizon {

@@ -107,6 +107,60 @@ func TestCancelMiddleOfQueue(t *testing.T) {
 	}
 }
 
+// TestCancelStaleHandleIsNoop pins the generation counter: cancelling a
+// handle whose event already fired must be a safe no-op even when the
+// pooled Event struct has been recycled into a newer scheduled event.
+func TestCancelStaleHandleIsNoop(t *testing.T) {
+	s := New()
+	fired := 0
+	stale := s.Schedule(1, "first", func(s *Simulator) { fired++ })
+	s.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("first event fired %d times", fired)
+	}
+	fresh := s.Schedule(2, "second", func(s *Simulator) { fired++ })
+	if fresh.ev != stale.ev {
+		t.Fatalf("test setup: pool did not recycle the fired event struct")
+	}
+	if s.Cancel(stale) {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	s.RunUntilIdle()
+	if fired != 2 {
+		t.Fatalf("second event did not survive the stale cancel (fired=%d)", fired)
+	}
+	// The fresh handle is now stale too (its event fired).
+	if s.Cancel(fresh) {
+		t.Fatal("handle of a fired event reported a cancel")
+	}
+}
+
+// TestCancelledEventRecycled pins that cancelled events return to the
+// pool and their handles retire: a double Cancel through the recycled
+// struct must not cancel the successor.
+func TestCancelledEventRecycled(t *testing.T) {
+	s := New()
+	ran := false
+	a := s.Schedule(1, "a", func(s *Simulator) {})
+	if !s.Cancel(a) {
+		t.Fatal("live handle failed to cancel")
+	}
+	b := s.Schedule(1, "b", func(s *Simulator) { ran = true })
+	if b.ev != a.ev {
+		t.Fatalf("test setup: cancelled struct was not recycled")
+	}
+	if s.Cancel(a) {
+		t.Fatal("retired handle cancelled its successor")
+	}
+	s.RunUntilIdle()
+	if !ran {
+		t.Fatal("successor event did not run")
+	}
+	if s.Cancel(Handle{}) {
+		t.Fatal("zero Handle cancelled something")
+	}
+}
+
 func TestHorizon(t *testing.T) {
 	s := New()
 	count := 0

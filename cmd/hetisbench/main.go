@@ -131,7 +131,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "available scenarios:")
 		for _, name := range hetis.ScenarioNames() {
-			fmt.Fprintf(stdout, "  %s\n", name)
+			fmt.Fprintf(stdout, "  %s%s\n", name, scenarioTag(name))
 		}
 		return nil
 	}
@@ -300,4 +300,19 @@ func emit(w io.Writer, tab *hetis.Table, csv bool) {
 	} else {
 		fmt.Fprint(w, tab)
 	}
+}
+
+// scenarioTag annotates a -list row for scenarios the catalog-wide
+// expansions skip: heavy (cost) and chaotic (extra table columns).
+func scenarioTag(name string) string {
+	s, err := hetis.ScenarioByName(name)
+	switch {
+	case err != nil:
+		return ""
+	case s.Heavy:
+		return " [heavy]"
+	case s.Chaotic():
+		return " [chaos]"
+	}
+	return ""
 }

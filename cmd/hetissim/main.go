@@ -67,7 +67,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "available scenarios:")
 		for _, name := range hetis.ScenarioNames() {
-			fmt.Fprintf(stdout, "  %s\n", name)
+			fmt.Fprintf(stdout, "  %s%s\n", name, scenarioTag(name))
 		}
 		if *exp == "" && *scen == "" && !*list {
 			fmt.Fprintln(stderr, "\nerror: one of -exp or -scenario is required (or use -list)")
@@ -130,4 +130,19 @@ func runScenarios(stdout io.Writer, names []string, quick, stream bool, windows 
 		fmt.Fprintf(stdout, "\n=== windows %s/%s (%gs buckets) ===\n%s", w.Scenario, w.Engine, windows, w.Table)
 	}
 	return nil
+}
+
+// scenarioTag annotates a -list row for scenarios the catalog-wide
+// expansions skip: heavy (cost) and chaotic (extra table columns).
+func scenarioTag(name string) string {
+	s, err := hetis.ScenarioByName(name)
+	switch {
+	case err != nil:
+		return ""
+	case s.Heavy:
+		return " [heavy]"
+	case s.Chaotic():
+		return " [chaos]"
+	}
+	return ""
 }

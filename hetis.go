@@ -396,6 +396,18 @@ type MixEntry = workload.MixEntry
 // arrival process.
 type MMPPState = workload.MMPPState
 
+// ScenarioFailure is one replica failure window of a chaotic scenario;
+// Start and End are fractions of the trace duration.
+type ScenarioFailure = scenario.FailureEvent
+
+// ScenarioAutoscale is the SLO-driven replica controller of a chaotic
+// scenario; Interval and Lag are fractions of the trace duration.
+type ScenarioAutoscale = scenario.AutoscaleSpec
+
+// ScenarioTier is one priority class of a tiered scenario: its tenants,
+// preemption priority, and optional admission cap.
+type ScenarioTier = scenario.TierSpec
+
 // DefaultSLO is the objective scenarios inherit when they set none.
 var DefaultSLO = scenario.DefaultSLO
 

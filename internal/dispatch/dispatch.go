@@ -682,6 +682,14 @@ func (d *Dispatcher) release(id RequestID) {
 // Remove drops a finished (or evicted) request.
 func (d *Dispatcher) Remove(id RequestID) { d.release(id) }
 
+// Clear drops every tracked request, returning the dispatcher to its
+// empty state — the whole-instance teardown a replica failure needs.
+func (d *Dispatcher) Clear() {
+	for _, id := range d.Requests() {
+		d.release(id)
+	}
+}
+
 // ExtendContext grows a request by n freshly generated tokens, increasing
 // g on every device holding its heads. It reports the devices whose
 // capacity the growth overflows (empty when all fits).

@@ -84,6 +84,13 @@ type Config struct {
 	// nil (trace.Log is nil-safe) and the run stops holding O(events)
 	// memory for it. Large-scale streaming runs want this on.
 	NoTrace bool
+
+	// Chaos configures the resilience layer: replica failure windows,
+	// SLO-driven autoscaling, and priority tiers with admission control and
+	// preemption. Nil — or a config whose normalize() reports it inert —
+	// leaves the engines on the exact legacy code path, so healthy runs stay
+	// byte-identical to their pre-chaos golden traces.
+	Chaos *ChaosConfig
 }
 
 // DefaultConfig returns the standard engine configuration for a model on a
@@ -144,6 +151,9 @@ func (c Config) Validate() error {
 	if c.MaxPrefillTokens <= 0 || c.MaxPrefillRequests <= 0 || c.MaxRunning <= 0 {
 		return fmt.Errorf("engine: batching limits must be positive")
 	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -182,6 +192,28 @@ type Result struct {
 	// volume.
 	Migrations    int
 	MigratedBytes int64
+
+	// Dropped counts requests the run refused or shed (admission control,
+	// unservable size, no capacity after preemption); each also produced a
+	// Dropped RequestRecord on the sink. Queued counts requests still in
+	// the system when the run ended (admitted, neither completed nor
+	// dropped) — nonzero only when the horizon cut the run short. Together
+	// they close the conservation ledger:
+	// offered == Completed + Dropped + Queued.
+	Dropped int
+	Queued  int
+	// Preempted counts priority preemptions: lower-tier victims evicted
+	// mid-flight to admit higher-tier work. Victims are requeued, not
+	// dropped — a preemption costs latency. PreemptedByTenant attributes
+	// the victims (nil when no preemption happened).
+	Preempted          int
+	PreemptedByTenant  map[string]int
+	// RecoveryTimes holds, per failure window, the time from the failure
+	// instant to the first completion at or after it — a
+	// service-restoration measure that is ~0 when surviving replicas mask
+	// the failure. ScaleUps/ScaleDowns count autoscaler decisions.
+	RecoveryTimes        []float64
+	ScaleUps, ScaleDowns int
 	// Horizon is the simulated time at which the run ended.
 	Horizon float64
 
@@ -237,9 +269,27 @@ type request struct {
 	evicted   bool
 	// restartCtx is the context length to re-prefill after an eviction.
 	restartCtx int
+	// hauled marks a request whose KV cache survived a replica failure by
+	// being hauled to a survivor: its next "prefill" only re-establishes
+	// attention state (one token of prefill work) while cache accounting
+	// still charges the full hauled context.
+	hauled bool
+	// prio is the request's tier priority under chaos (higher preempts
+	// lower); 0 outside tiered runs.
+	prio int
 }
 
 func (r *request) contextLen() int { return r.wl.PromptLen + r.generated }
+
+// prefillLen is the prompt length the next prefill must process: the
+// restart context normally, but a single token for a hauled request whose
+// KV already moved with it.
+func (r *request) prefillLen() int {
+	if r.hauled {
+		return 1
+	}
+	return r.restartCtx
+}
 
 func (r *request) done() bool { return r.generated >= r.wl.OutputLen }
 
@@ -323,6 +373,22 @@ func recordFinish(sink metrics.Sink, r *request, now float64) {
 		OutputLen:  r.wl.OutputLen,
 		Tenant:     r.wl.Tenant,
 		Evicted:    r.evicted,
+	})
+}
+
+// recordDrop surfaces a request the run gave up on as a Dropped record:
+// it stays in the attainment denominator (see metrics.RequestRecord) but
+// contributes no latency samples.
+func recordDrop(sink metrics.Sink, r *request, now float64) {
+	sink.Observe(metrics.RequestRecord{
+		ID:         r.wl.ID,
+		ArrivalAt:  r.wl.ArrivalAt,
+		FinishedAt: now,
+		PromptLen:  r.wl.PromptLen,
+		OutputLen:  r.wl.OutputLen,
+		Tenant:     r.wl.Tenant,
+		Evicted:    r.evicted,
+		Dropped:    true,
 	})
 }
 

@@ -1,0 +1,340 @@
+// staticFleet replicates the static-pipeline runtime (HexGen / vLLM) for
+// the chaos layer: every replica runs the same continuous-batching loop
+// over the shared pipeline shape, and the fleet owns routing, failure
+// handling, KV hauling, and scale operations. A healthy run is a fleet of
+// one with a nil controller — every fleet path then degenerates to the
+// legacy single-runtime behaviour that the golden traces pin.
+
+package engine
+
+import (
+	"sort"
+
+	"hetis/internal/metrics"
+	"hetis/internal/perf"
+	"hetis/internal/sim"
+	"hetis/internal/trace"
+	"hetis/internal/workload"
+)
+
+// replicaState is one replica's lifecycle position.
+type replicaState int
+
+const (
+	replicaActive replicaState = iota
+	replicaFailed
+	replicaParked // provisioned but not serving (autoscale headroom)
+)
+
+// fleetCore is the replica-type-independent fleet bookkeeping shared by
+// the static, splitwise, and hetis fleets: global arrival sequencing, the
+// conservation ledger, the parked backlog, and the serialized KV-haul
+// link.
+type fleetCore struct {
+	cfg  Config
+	res  *Result
+	ctl  *chaosCtl
+	sink metrics.Sink
+
+	// seq numbers arrivals globally; victim selection ("newest first")
+	// compares within one replica, where the global order agrees with any
+	// per-replica numbering.
+	seq     map[int64]int64
+	nextSeq int64
+	// inSystem counts admitted requests not yet finished or dropped —
+	// the Queued term of the conservation ledger.
+	inSystem int
+	// parked holds admitted requests with no active replica to run on.
+	parked queue
+	// inHaul counts requests whose KV is mid-transfer between replicas;
+	// haulFree is when the haul link next frees up (transfers serialize).
+	inHaul   int
+	haulFree float64
+}
+
+func newFleetCore(cfg Config, res *Result, ctl *chaosCtl, sink metrics.Sink) fleetCore {
+	return fleetCore{cfg: cfg, res: res, ctl: ctl, sink: sink, seq: map[int64]int64{}}
+}
+
+// admitArrival runs the shared arrival bookkeeping: sequence number,
+// arrival trace, tier admission. A false return means the request was
+// dropped at admission.
+func (c *fleetCore) admitArrival(s *sim.Simulator, r *request) bool {
+	c.seq[r.wl.ID] = c.nextSeq
+	c.nextSeq++
+	c.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
+	if !c.ctl.admit(s, r) {
+		return false
+	}
+	c.inSystem++
+	return true
+}
+
+// dropAdmitted records the drop of an already-admitted request (the
+// unservable-size paths), closing its conservation slot.
+func (c *fleetCore) dropAdmitted(s *sim.Simulator, r *request) {
+	c.ctl.release(r)
+	c.inSystem--
+	c.res.Dropped++
+	recordDrop(c.sink, r, s.Now())
+	c.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindDrop, Request: r.wl.ID, Note: r.wl.Tenant})
+}
+
+// finishOne runs the shared completion bookkeeping.
+func (c *fleetCore) finishOne(s *sim.Simulator, r *request) {
+	c.ctl.release(r)
+	c.inSystem--
+	recordFinish(c.sink, r, s.Now())
+	c.res.Completed++
+	c.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
+}
+
+// haulTo ships a victim's KV cache toward a surviving replica over the
+// cluster interconnect; transfers serialize on the link, and deliver runs
+// when the transfer lands.
+func (c *fleetCore) haulTo(s *sim.Simulator, r *request, deliver func(*sim.Simulator, *request)) {
+	bytes := int64(r.restartCtx) * c.cfg.Model.KVBytesPerToken()
+	dt := perf.P2PTime(c.cfg.Cluster.InterLink, bytes)
+	now := s.Now()
+	if c.haulFree < now {
+		c.haulFree = now
+	}
+	c.haulFree += dt
+	c.res.Migrations++
+	c.res.MigratedBytes += bytes
+	c.res.Trace.Add(trace.Event{At: now, Kind: trace.KindMigration, Request: r.wl.ID, Value: float64(bytes)})
+	c.inHaul++
+	s.Schedule(c.haulFree, "kv-haul", func(s *sim.Simulator) {
+		c.inHaul--
+		deliver(s, r)
+	})
+}
+
+// loseVictim applies lost-KV failure semantics: the request re-prefills
+// its full accumulated context on whichever replica it lands on.
+func (c *fleetCore) loseVictim(s *sim.Simulator, r *request) {
+	r.hauled = false
+	c.res.Evictions++
+	c.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindEviction, Request: r.wl.ID})
+}
+
+type staticFleet struct {
+	fleetCore
+	est      *perf.Estimator
+	replicas []*staticRuntime
+}
+
+func newStaticFleet(cfg Config, est *perf.Estimator, pipe *staticPipeline, res *Result, ctl *chaosCtl, sink metrics.Sink, chaos *ChaosConfig) *staticFleet {
+	width, total := 1, 1
+	if chaos != nil {
+		width = chaos.initialReplicas()
+		total = chaos.maxReplicas()
+	}
+	f := &staticFleet{fleetCore: newFleetCore(cfg, res, ctl, sink), est: est}
+	for i := 0; i < total; i++ {
+		rt := &staticRuntime{
+			cfg:     cfg,
+			est:     est,
+			pipe:    pipe,
+			res:     res,
+			fleet:   f,
+			idx:     i,
+			state:   replicaParked,
+			waiting: newWaitQueue(ctl.tiered()),
+			byID:    map[int64]*request{},
+		}
+		if i < width {
+			rt.state = replicaActive
+		}
+		f.replicas = append(f.replicas, rt)
+	}
+	return f
+}
+
+// runStatic is the shared Run body of the two static-pipeline engines.
+func runStatic(name string, cfg Config, est *perf.Estimator, pipe *staticPipeline, capBytes int64, reqs []workload.Request, horizon float64) (*Result, error) {
+	reqs = workload.Truncate(reqs, cfg.Model.MaxSeqLen) // clamp to the context window
+	sink, rec := cfg.newRunSink()
+	res := &Result{
+		Engine:        name,
+		Sink:          sink,
+		Recorder:      rec,
+		Trace:         cfg.newTraceLog(),
+		CacheCapacity: capBytes,
+	}
+	iters := moduleSeriesCap(reqs)
+	res.DenseTimes = make([]float64, 0, iters)
+	res.AttnTimes = make([]float64, 0, iters)
+	chaos := cfg.Chaos.normalize()
+	var ctl *chaosCtl
+	runSink := sink
+	if chaos != nil {
+		ctl = newChaosCtl(chaos, res, res.Trace, sink)
+		runSink = ctl
+	}
+	f := newStaticFleet(cfg, est, pipe, res, ctl, runSink, chaos)
+	if ctl != nil {
+		ctl.bind(f)
+	}
+	s := sim.New()
+	s.MaxEvents = cfg.MaxSimEvents(len(reqs))
+	ctl.start(s)
+	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
+		if !f.admitArrival(s, r) {
+			return
+		}
+		f.route(s, r)
+	})
+	if err := s.Run(horizon); err != nil {
+		return nil, err
+	}
+	res.Horizon = s.Now()
+	res.Events = s.Executed
+	res.Queued = f.inSystem
+	return res, nil
+}
+
+// activeCount implements chaosFleet.
+func (f *staticFleet) activeCount() int {
+	n := 0
+	for _, rt := range f.replicas {
+		if rt.state == replicaActive {
+			n++
+		}
+	}
+	return n
+}
+
+// route sends a request to the least-loaded active replica, or parks it
+// when no replica is serving (a reviving replica drains the park).
+func (f *staticFleet) route(s *sim.Simulator, r *request) {
+	var best *staticRuntime
+	for _, rt := range f.replicas {
+		if rt.state != replicaActive {
+			continue
+		}
+		if best == nil || rt.load() < best.load() {
+			best = rt
+		}
+	}
+	if best == nil {
+		f.parked.push(r)
+		return
+	}
+	best.waiting.push(r)
+	best.kick(s)
+}
+
+// deactivate takes a replica out of service, re-dispatching everything it
+// held: running requests haul their KV to survivors (haul mode) or lose it
+// and re-prefill; mid-prefill and waiting requests requeue as-is.
+func (f *staticFleet) deactivate(s *sim.Simulator, rt *staticRuntime, haul bool, to replicaState) {
+	rt.state = to
+	if rt.busy {
+		s.Cancel(rt.pending)
+		rt.busy = false
+	}
+	resident := map[int64]bool{}
+	for _, r := range rt.running {
+		resident[r.wl.ID] = true
+	}
+	ids := make([]int64, 0, len(rt.byID))
+	for id := range rt.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return f.seq[ids[i]] < f.seq[ids[j]] })
+	for _, id := range ids {
+		r := rt.byID[id]
+		delete(rt.byID, id)
+		r.evicted = true
+		r.restartCtx = r.contextLen()
+		if haul && resident[id] {
+			r.hauled = true
+			f.haulTo(s, r, f.route)
+			continue
+		}
+		f.loseVictim(s, r)
+		f.route(s, r)
+	}
+	rt.running = rt.running[:0]
+	rt.used = 0
+	for rt.waiting.len() > 0 {
+		f.route(s, rt.waiting.pop())
+	}
+}
+
+// kill implements chaosFleet.
+func (f *staticFleet) kill(s *sim.Simulator, replica int, haul bool) {
+	if replica >= len(f.replicas) {
+		return
+	}
+	rt := f.replicas[replica]
+	if rt.state != replicaActive {
+		return
+	}
+	f.deactivate(s, rt, haul, replicaFailed)
+}
+
+// revive implements chaosFleet.
+func (f *staticFleet) revive(s *sim.Simulator, replica int) {
+	if replica >= len(f.replicas) {
+		return
+	}
+	rt := f.replicas[replica]
+	if rt.state != replicaFailed {
+		return
+	}
+	f.activate(s, rt)
+}
+
+// activate brings a replica into service and hands it the parked backlog,
+// then steals queued (not yet admitted) work from busier replicas so the
+// newcomer helps drain the backlog instead of waiting on fresh arrivals.
+func (f *staticFleet) activate(s *sim.Simulator, rt *staticRuntime) {
+	rt.state = replicaActive
+	for f.parked.len() > 0 {
+		rt.waiting.push(f.parked.pop())
+	}
+	for {
+		var donor *staticRuntime
+		for _, o := range f.replicas {
+			if o == rt || o.state != replicaActive {
+				continue
+			}
+			if donor == nil || o.waiting.len() > donor.waiting.len() {
+				donor = o
+			}
+		}
+		if donor == nil || donor.waiting.len() <= rt.waiting.len()+1 {
+			break
+		}
+		rt.waiting.push(donor.waiting.pop())
+	}
+	rt.kick(s)
+}
+
+// scaleUp implements chaosFleet: activate the first parked replica.
+func (f *staticFleet) scaleUp(s *sim.Simulator) bool {
+	for _, rt := range f.replicas {
+		if rt.state == replicaParked {
+			f.activate(s, rt)
+			return true
+		}
+	}
+	return false
+}
+
+// scaleDown implements chaosFleet: drain the highest-index active replica
+// (its KV hauls to survivors — a graceful drain, not a crash).
+func (f *staticFleet) scaleDown(s *sim.Simulator) bool {
+	if f.activeCount() <= 1 {
+		return false
+	}
+	for i := len(f.replicas) - 1; i >= 0; i-- {
+		if f.replicas[i].state == replicaActive {
+			f.deactivate(s, f.replicas[i], true, replicaParked)
+			return true
+		}
+	}
+	return false
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"hetis/internal/dispatch"
 	"hetis/internal/hardware"
@@ -125,7 +126,9 @@ func stageFreeBytes(cfg Config, st parallelizer.Stage) int64 {
 	return int64(mem - weights)
 }
 
-// hetisInstance is the runtime of one serving instance.
+// hetisInstance is the runtime of one serving instance. Under chaos it is
+// one replica of a hetisFleet; a healthy run's fleet has exactly the
+// plan's instances, all active, and behaves like the legacy loop.
 type hetisInstance struct {
 	eng    *Hetis
 	idx    int
@@ -141,11 +144,18 @@ type hetisInstance struct {
 	// workerLink is the channel from the instance primary to the worker.
 	workerLink []hardware.LinkSpec
 
-	waiting    queue
-	running    []*request
-	byID       map[int64]*request
+	fleet *hetisFleet
+	state replicaState
+	// pending is the instance's single outstanding loop event (step,
+	// prefill, or decode completion) — what a failure cancels.
+	pending sim.Handle
+
+	waiting *waitQueue
+	running []*request
+	byID    map[int64]*request
+	// arrivalSeq aliases the fleet's global sequence map; within one
+	// instance the global order agrees with per-instance numbering.
 	arrivalSeq map[int64]int64
-	nextSeq    int64
 	busy       bool
 	// decodeSteps counts decode iterations for the rebalance cadence.
 	decodeSteps int
@@ -185,15 +195,14 @@ type decodeCost struct {
 func (h *Hetis) newInstance(idx int, in parallelizer.Instance, res *Result) (*hetisInstance, error) {
 	cfg := h.cfg
 	inst := &hetisInstance{
-		eng:        h,
-		idx:        idx,
-		stages:     in.Stages,
-		pool:       in.AttentionWorkers,
-		byID:       make(map[int64]*request),
-		arrivalSeq: make(map[int64]int64),
-		lastMig:    make(map[int64]int),
-		res:        res,
-		cfg:        &h.cfg,
+		eng:     h,
+		idx:     idx,
+		stages:  in.Stages,
+		pool:    in.AttentionWorkers,
+		byID:    make(map[int64]*request),
+		lastMig: make(map[int64]int),
+		res:     res,
+		cfg:     &h.cfg,
 	}
 	groupTok := cfg.Model.KVBytesPerTokenHeadGroup() * int64(cfg.Model.Layers)
 
@@ -271,33 +280,37 @@ func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	iters := moduleSeriesCap(reqs)
 	res.DenseTimes = make([]float64, 0, iters)
 	res.AttnTimes = make([]float64, 0, iters)
-	var instances []*hetisInstance
-	for i, in := range h.plan.Instances {
-		inst, err := h.newInstance(i, in, res)
-		if err != nil {
-			return nil, err
-		}
-		instances = append(instances, inst)
+	chaos := h.cfg.Chaos.normalize()
+	var ctl *chaosCtl
+	runSink := sink
+	if chaos != nil {
+		ctl = newChaosCtl(chaos, res, res.Trace, sink)
+		runSink = ctl
+	}
+	f, err := newHetisFleet(h, res, ctl, runSink, chaos)
+	if err != nil {
+		return nil, err
+	}
+	if ctl != nil {
+		ctl.bind(f)
 	}
 
 	s := sim.New()
 	s.MaxEvents = h.cfg.MaxSimEvents(len(reqs))
-	loads := make([]int, len(instances)) // reused per arrival
+	ctl.start(s)
 	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
-		for i, in := range instances {
-			loads[i] = in.waiting.len() + len(in.running)
+		if !f.admitArrival(s, r) {
+			return
 		}
-		inst := instances[pickLeastLoaded(loads)]
-		inst.waiting.push(r)
-		inst.arrivalSeq[r.wl.ID] = inst.nextSeq
-		inst.nextSeq++
-		res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
-		inst.kick(s)
+		f.route(s, r)
 	})
 	if h.cfg.SampleEvery > 0 {
+		// Sample only the plan's own instances: extra chaos replicas reuse
+		// the same devices, so sampling them would double-count series keys.
+		sampled := f.replicas[:len(h.plan.Instances)]
 		var sample func(s *sim.Simulator)
 		sample = func(s *sim.Simulator) {
-			for _, inst := range instances {
+			for _, inst := range sampled {
 				inst.sample(s.Now())
 			}
 			if s.Pending() > 0 {
@@ -311,7 +324,8 @@ func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	}
 	res.Horizon = s.Now()
 	res.Events = s.Executed
-	for _, inst := range instances {
+	res.Queued = f.inSystem
+	for _, inst := range f.replicas {
 		res.LPSolves += inst.disp.LPSolves
 		res.LPSolvesAvoided += inst.disp.LPSolvesAvoided
 		res.LPIdealSolves += inst.disp.LPIdealSolves
@@ -323,12 +337,197 @@ func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	return res, nil
 }
 
+// hetisFleet replicates serving instances for the chaos layer. The plan's
+// instances are the base fleet; chaos replicas beyond them reuse the plan's
+// instance templates round-robin (same stages and pool, modelling identical
+// spare deployments).
+type hetisFleet struct {
+	fleetCore
+	eng      *Hetis
+	replicas []*hetisInstance
+}
+
+func newHetisFleet(h *Hetis, res *Result, ctl *chaosCtl, sink metrics.Sink, chaos *ChaosConfig) (*hetisFleet, error) {
+	base := len(h.plan.Instances)
+	width, total := base, base
+	if chaos != nil {
+		width = max(base, chaos.initialReplicas())
+		total = max(width, chaos.maxReplicas())
+	}
+	f := &hetisFleet{fleetCore: newFleetCore(h.cfg, res, ctl, sink), eng: h}
+	for i := 0; i < total; i++ {
+		inst, err := h.newInstance(i, h.plan.Instances[i%base], res)
+		if err != nil {
+			return nil, err
+		}
+		inst.fleet = f
+		inst.arrivalSeq = f.seq
+		inst.waiting = newWaitQueue(ctl.tiered())
+		inst.state = replicaParked
+		if i < width {
+			inst.state = replicaActive
+		}
+		f.replicas = append(f.replicas, inst)
+	}
+	return f, nil
+}
+
+// activeCount implements chaosFleet.
+func (f *hetisFleet) activeCount() int {
+	n := 0
+	for _, inst := range f.replicas {
+		if inst.state == replicaActive {
+			n++
+		}
+	}
+	return n
+}
+
+// route sends a request to the least-loaded active instance (the legacy
+// load key: waiting plus running), or parks it when none is serving.
+func (f *hetisFleet) route(s *sim.Simulator, r *request) {
+	var best *hetisInstance
+	bestLoad := 0
+	for _, inst := range f.replicas {
+		if inst.state != replicaActive {
+			continue
+		}
+		load := inst.waiting.len() + len(inst.running)
+		if best == nil || load < bestLoad {
+			best, bestLoad = inst, load
+		}
+	}
+	if best == nil {
+		f.parked.push(r)
+		return
+	}
+	best.waiting.push(r)
+	best.kick(s)
+}
+
+// deactivate takes an instance out of service: its loop event is
+// cancelled, dispatch and KV state torn down, and every in-system request
+// re-dispatched — running requests haul their KV to survivors (haul mode)
+// or lose it and re-prefill; waiting requests requeue as-is.
+func (f *hetisFleet) deactivate(s *sim.Simulator, inst *hetisInstance, haul bool, to replicaState) {
+	inst.state = to
+	if inst.busy {
+		s.Cancel(inst.pending)
+		inst.busy = false
+	}
+	resident := map[int64]bool{}
+	for _, r := range inst.running {
+		resident[r.wl.ID] = true
+	}
+	ids := make([]int64, 0, len(inst.byID))
+	for id := range inst.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return f.seq[ids[i]] < f.seq[ids[j]] })
+	for _, id := range ids {
+		r := inst.byID[id]
+		delete(inst.byID, id)
+		delete(inst.lastMig, id)
+		inst.kvFree(id)
+		r.evicted = true
+		r.restartCtx = r.contextLen()
+		if haul && resident[id] {
+			r.hauled = true
+			f.haulTo(s, r, f.route)
+			continue
+		}
+		f.loseVictim(s, r)
+		f.route(s, r)
+	}
+	inst.disp.Clear()
+	inst.running = inst.running[:0]
+	inst.pendingDelay = 0
+	for inst.waiting.len() > 0 {
+		f.route(s, inst.waiting.pop())
+	}
+}
+
+// kill implements chaosFleet.
+func (f *hetisFleet) kill(s *sim.Simulator, replica int, haul bool) {
+	if replica >= len(f.replicas) {
+		return
+	}
+	inst := f.replicas[replica]
+	if inst.state != replicaActive {
+		return
+	}
+	f.deactivate(s, inst, haul, replicaFailed)
+}
+
+// revive implements chaosFleet.
+func (f *hetisFleet) revive(s *sim.Simulator, replica int) {
+	if replica >= len(f.replicas) {
+		return
+	}
+	inst := f.replicas[replica]
+	if inst.state != replicaFailed {
+		return
+	}
+	f.activate(s, inst)
+}
+
+// activate brings an instance into service, hands it the parked backlog,
+// and steals queued (not yet admitted) work from busier instances so the
+// newcomer helps drain the backlog instead of waiting on fresh arrivals.
+func (f *hetisFleet) activate(s *sim.Simulator, inst *hetisInstance) {
+	inst.state = replicaActive
+	for f.parked.len() > 0 {
+		inst.waiting.push(f.parked.pop())
+	}
+	for {
+		var donor *hetisInstance
+		for _, o := range f.replicas {
+			if o == inst || o.state != replicaActive {
+				continue
+			}
+			if donor == nil || o.waiting.len() > donor.waiting.len() {
+				donor = o
+			}
+		}
+		if donor == nil || donor.waiting.len() <= inst.waiting.len()+1 {
+			break
+		}
+		inst.waiting.push(donor.waiting.pop())
+	}
+	inst.kick(s)
+}
+
+// scaleUp implements chaosFleet.
+func (f *hetisFleet) scaleUp(s *sim.Simulator) bool {
+	for _, inst := range f.replicas {
+		if inst.state == replicaParked {
+			f.activate(s, inst)
+			return true
+		}
+	}
+	return false
+}
+
+// scaleDown implements chaosFleet: drain the highest-index active instance.
+func (f *hetisFleet) scaleDown(s *sim.Simulator) bool {
+	if f.activeCount() <= 1 {
+		return false
+	}
+	for i := len(f.replicas) - 1; i >= 0; i-- {
+		if f.replicas[i].state == replicaActive {
+			f.deactivate(s, f.replicas[i], true, replicaParked)
+			return true
+		}
+	}
+	return false
+}
+
 func (inst *hetisInstance) kick(s *sim.Simulator) {
 	if inst.busy {
 		return
 	}
 	inst.busy = true
-	s.After(0, "step", inst.step)
+	inst.pending = s.After(0, "step", inst.step)
 }
 
 // step runs one scheduling decision: prefill first (continuous batching
@@ -354,11 +553,14 @@ func (inst *hetisInstance) tryPrefill(s *sim.Simulator) bool {
 		len(inst.running)+len(admitted) < cfg.MaxRunning {
 		r := inst.waiting.peek()
 		ctx := r.restartCtx
-		if tokens+ctx > cfg.MaxPrefillTokens && len(admitted) > 0 {
+		if tokens+r.prefillLen() > cfg.MaxPrefillTokens && len(admitted) > 0 {
 			break
 		}
 		nr := dispatch.NewRequest{ID: r.wl.ID, ContextLen: ctx}
 		if !inst.underWatermark(ctx) {
+			if inst.fleet.ctl.tiered() && len(admitted) == 0 && inst.preemptFor(s, r) {
+				continue // retry the head waiter against the freed memory
+			}
 			// Leave growth slack for the running batch; admission resumes
 			// when completions drain utilization below the watermark.
 			if len(inst.running) == 0 && len(admitted) == 0 {
@@ -369,6 +571,7 @@ func (inst *hetisInstance) tryPrefill(s *sim.Simulator) bool {
 				}
 				inst.waiting.pop()
 				inst.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: cannot ever fit")
+				inst.fleet.dropAdmitted(s, r)
 				continue
 			}
 			break
@@ -380,6 +583,7 @@ func (inst *hetisInstance) tryPrefill(s *sim.Simulator) bool {
 			if len(inst.running) == 0 && len(admitted) == 0 && !inst.disp.CanFit([]dispatch.NewRequest{nr}) {
 				inst.waiting.pop()
 				inst.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: cannot ever fit")
+				inst.fleet.dropAdmitted(s, r)
 				continue
 			}
 			break
@@ -390,20 +594,19 @@ func (inst *hetisInstance) tryPrefill(s *sim.Simulator) bool {
 		}
 		inst.waiting.pop()
 		admitted = append(admitted, r)
-		tokens += ctx
+		tokens += r.prefillLen()
 	}
 	if len(admitted) == 0 {
 		return false
 	}
-
 	prompts := make([]int, len(admitted))
 	for i, r := range admitted {
-		prompts[i] = r.restartCtx
+		prompts[i] = r.prefillLen()
 		inst.byID[r.wl.ID] = r
 	}
 	dt := inst.prefillTime(prompts, admitted) + inst.pendingDelay
 	inst.pendingDelay = 0
-	s.After(dt, "prefill-done", func(s *sim.Simulator) {
+	inst.pending = s.After(dt, "prefill-done", func(s *sim.Simulator) {
 		overflown := map[int]bool{}
 		for _, r := range admitted {
 			if inst.byID[r.wl.ID] != r {
@@ -415,6 +618,7 @@ func (inst *hetisInstance) tryPrefill(s *sim.Simulator) bool {
 			if r.generated == 0 {
 				r.generated = 1 // prefill emits the first token
 			}
+			r.hauled = false
 			inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindPrefill, Request: r.wl.ID, Value: float64(r.restartCtx)})
 			if r.done() {
 				inst.finish(s, r)
@@ -532,7 +736,7 @@ func (inst *hetisInstance) tryDecode(s *sim.Simulator) bool {
 
 	dt := cost.dense + attn + inst.pendingDelay
 	inst.pendingDelay = 0
-	s.After(dt, "decode-done", func(s *sim.Simulator) {
+	inst.pending = s.After(dt, "decode-done", func(s *sim.Simulator) {
 		inst.afterDecode(s)
 		inst.step(s)
 	})
@@ -764,9 +968,46 @@ func (inst *hetisInstance) evict(s *sim.Simulator, id int64) bool {
 	delete(inst.byID, id)
 	r.evicted = true
 	r.restartCtx = r.contextLen()
+	r.hauled = false
 	inst.waiting.pushFront(r)
 	inst.res.Evictions++
 	inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindEviction, Request: id})
+	return true
+}
+
+// preemptFor evicts the cheapest strictly-lower-priority running request
+// so r can admit (multi-tier chaos only): lowest priority first, newest
+// within a priority. The victim requeues — preemption costs latency, not a
+// completion. Returns false when no lower-priority victim exists.
+func (inst *hetisInstance) preemptFor(s *sim.Simulator, r *request) bool {
+	idx := -1
+	for i, v := range inst.running {
+		if v.prio >= r.prio {
+			continue
+		}
+		if idx == -1 {
+			idx = i
+			continue
+		}
+		b := inst.running[idx]
+		if v.prio < b.prio || (v.prio == b.prio && inst.arrivalSeq[v.wl.ID] > inst.arrivalSeq[b.wl.ID]) {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	v := inst.running[idx]
+	inst.running = append(inst.running[:idx], inst.running[idx+1:]...)
+	inst.disp.Remove(v.wl.ID)
+	inst.kvFree(v.wl.ID)
+	delete(inst.byID, v.wl.ID)
+	delete(inst.lastMig, v.wl.ID)
+	v.evicted = true
+	v.restartCtx = v.contextLen()
+	v.hauled = false
+	inst.waiting.push(v)
+	inst.fleet.ctl.notePreempt(s, v)
 	return true
 }
 
@@ -849,9 +1090,7 @@ func (inst *hetisInstance) finish(s *sim.Simulator, r *request) {
 	inst.kvFree(r.wl.ID)
 	delete(inst.byID, r.wl.ID)
 	delete(inst.lastMig, r.wl.ID)
-	recordFinish(inst.res.Sink, r, s.Now())
-	inst.res.Completed++
-	inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
+	inst.fleet.finishOne(s, r)
 }
 
 func (inst *hetisInstance) trackPeak() {

@@ -45,67 +45,45 @@ func (h *HexGen) Stages() []parallelizer.Stage { return h.pipe.stages }
 
 // Run implements Engine.
 func (h *HexGen) Run(reqs []workload.Request, horizon float64) (*Result, error) {
-	reqs = workload.Truncate(reqs, h.cfg.Model.MaxSeqLen) // clamp to the context window
-	sink, rec := h.cfg.newRunSink()
-	res := &Result{
-		Engine:        h.Name(),
-		Sink:          sink,
-		Recorder:      rec,
-		Trace:         h.cfg.newTraceLog(),
-		CacheCapacity: h.CacheCapacity(),
-	}
-	iters := moduleSeriesCap(reqs)
-	res.DenseTimes = make([]float64, 0, iters)
-	res.AttnTimes = make([]float64, 0, iters)
-	h.pipe.usedTokens = 0 // fresh run
-	rt := &staticRuntime{
-		cfg:  h.cfg,
-		est:  h.est,
-		pipe: h.pipe,
-		res:  res,
-		byID: map[int64]*request{},
-		seq:  map[int64]int64{},
-	}
-	s := sim.New()
-	s.MaxEvents = h.cfg.MaxSimEvents(len(reqs))
-	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
-		rt.waiting.push(r)
-		rt.seq[r.wl.ID] = rt.nextSeq
-		rt.nextSeq++
-		res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
-		rt.kick(s)
-	})
-	if err := s.Run(horizon); err != nil {
-		return nil, err
-	}
-	res.Horizon = s.Now()
-	res.Events = s.Executed
-	return res, nil
+	return runStatic(h.Name(), h.cfg, h.est, h.pipe, h.CacheCapacity(), reqs, horizon)
 }
 
 // staticRuntime is the colocated continuous-batching loop shared shape
 // with Hetis' instance, but with token-count cache accounting and no
-// dynamic dispatch.
+// dynamic dispatch. Under chaos it is one replica of a staticFleet; a
+// healthy run is a fleet of one, which behaves exactly like the original
+// single runtime.
 type staticRuntime struct {
 	cfg  Config
 	est  *perf.Estimator
 	pipe *staticPipeline
 	res  *Result
 
-	waiting queue
+	fleet *staticFleet
+	idx   int
+	state replicaState
+	// used is this replica's cache occupancy in tokens (the pipeline shape
+	// is shared; occupancy is per replica).
+	used int64
+	// pending is the replica's single outstanding loop event (step,
+	// prefill, or decode completion) — what a failure cancels.
+	pending sim.Handle
+
+	waiting *waitQueue
 	running []*request
 	byID    map[int64]*request
-	seq     map[int64]int64
-	nextSeq int64
 	busy    bool
 }
+
+// load is the replica's in-system request count, the routing key.
+func (rt *staticRuntime) load() int { return len(rt.byID) + rt.waiting.len() }
 
 func (rt *staticRuntime) kick(s *sim.Simulator) {
 	if rt.busy {
 		return
 	}
 	rt.busy = true
-	s.After(0, "hexgen-step", rt.step)
+	rt.pending = s.After(0, "hexgen-step", rt.step)
 }
 
 func (rt *staticRuntime) step(s *sim.Simulator) {
@@ -127,20 +105,24 @@ func (rt *staticRuntime) tryPrefill(s *sim.Simulator) bool {
 		len(rt.running)+len(admitted) < cfg.MaxRunning {
 		r := rt.waiting.peek()
 		ctx := int64(r.restartCtx)
-		if rt.pipe.usedTokens+ctx > rt.pipe.tokenCap {
+		if rt.fleet.ctl.tiered() && rt.used+ctx > rt.pipe.tokenCap && len(admitted) == 0 {
+			rt.preemptFor(s, r, ctx)
+		}
+		if rt.used+ctx > rt.pipe.tokenCap {
 			if len(rt.running) == 0 && len(admitted) == 0 && ctx > rt.pipe.tokenCap {
 				rt.waiting.pop() // can never fit
 				rt.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: exceeds cache")
+				rt.fleet.dropAdmitted(s, r)
 				continue
 			}
 			break
 		}
-		if tokens+int(ctx) > cfg.MaxPrefillTokens && len(admitted) > 0 {
+		if tokens+r.prefillLen() > cfg.MaxPrefillTokens && len(admitted) > 0 {
 			break
 		}
 		rt.waiting.pop()
-		rt.pipe.usedTokens += ctx
-		tokens += int(ctx)
+		rt.used += ctx
+		tokens += r.prefillLen()
 		admitted = append(admitted, r)
 		rt.byID[r.wl.ID] = r
 	}
@@ -149,18 +131,19 @@ func (rt *staticRuntime) tryPrefill(s *sim.Simulator) bool {
 	}
 	prompts := make([]int, len(admitted))
 	for i, r := range admitted {
-		prompts[i] = r.restartCtx
+		prompts[i] = r.prefillLen()
 	}
 	dt := rt.pipe.prefillTime(rt.est, cfg, prompts)
-	s.After(dt, "hexgen-prefill", func(s *sim.Simulator) {
+	rt.pending = s.After(dt, "hexgen-prefill", func(s *sim.Simulator) {
 		for _, r := range admitted {
 			if r.firstTok == 0 {
 				r.firstTok = s.Now()
 			}
 			if r.generated == 0 {
 				r.generated = 1
-				rt.pipe.usedTokens++ // cache of the first generated token
+				rt.used++ // cache of the first generated token
 			}
+			r.hauled = false
 			if r.done() {
 				rt.finish(s, r)
 			} else {
@@ -170,6 +153,41 @@ func (rt *staticRuntime) tryPrefill(s *sim.Simulator) bool {
 		rt.step(s)
 	})
 	return true
+}
+
+// preemptFor evicts strictly-lower-priority running work until ctx tokens
+// fit (multi-tier chaos only): the victims requeue — preemption costs
+// latency, not a completion.
+func (rt *staticRuntime) preemptFor(s *sim.Simulator, r *request, ctx int64) {
+	f := rt.fleet
+	for rt.used+ctx > rt.pipe.tokenCap {
+		idx := -1
+		for i, v := range rt.running {
+			if v.prio >= r.prio {
+				continue
+			}
+			if idx == -1 {
+				idx = i
+				continue
+			}
+			b := rt.running[idx]
+			if v.prio < b.prio || (v.prio == b.prio && f.seq[v.wl.ID] > f.seq[b.wl.ID]) {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		v := rt.running[idx]
+		rt.running = append(rt.running[:idx], rt.running[idx+1:]...)
+		rt.used -= int64(v.contextLen())
+		v.evicted = true
+		v.restartCtx = v.contextLen()
+		v.hauled = false
+		delete(rt.byID, v.wl.ID)
+		rt.waiting.push(v)
+		f.ctl.notePreempt(s, v)
+	}
 }
 
 func (rt *staticRuntime) tryDecode(s *sim.Simulator) bool {
@@ -183,18 +201,47 @@ func (rt *staticRuntime) tryDecode(s *sim.Simulator) bool {
 	dt, dense, attn := rt.pipe.decodeTime(rt.est, rt.cfg, len(rt.running), ctxTokens)
 	rt.res.DenseTimes = append(rt.res.DenseTimes, dense)
 	rt.res.AttnTimes = append(rt.res.AttnTimes, attn)
-	s.After(dt, "hexgen-decode", func(s *sim.Simulator) {
+	rt.pending = s.After(dt, "hexgen-decode", func(s *sim.Simulator) {
 		rt.afterDecode(s)
 		rt.step(s)
 	})
 	return true
 }
 
+// victimIdx picks the eviction victim among running requests: globally
+// newest (LIFO) normally; under multi-tier chaos, lowest priority first
+// and newest within a priority.
+func (rt *staticRuntime) victimIdx() int {
+	f := rt.fleet
+	best := 0
+	if f.ctl.tiered() {
+		for i, r := range rt.running {
+			b := rt.running[best]
+			if r.prio != b.prio {
+				if r.prio < b.prio {
+					best = i
+				}
+				continue
+			}
+			if f.seq[r.wl.ID] > f.seq[b.wl.ID] {
+				best = i
+			}
+		}
+		return best
+	}
+	for i, r := range rt.running {
+		if f.seq[r.wl.ID] > f.seq[rt.running[best].wl.ID] {
+			best = i
+		}
+	}
+	return best
+}
+
 func (rt *staticRuntime) afterDecode(s *sim.Simulator) {
 	var still []*request
 	for _, r := range rt.running {
 		r.generated++
-		rt.pipe.usedTokens++
+		rt.used++
 		if r.done() {
 			rt.finish(s, r)
 			continue
@@ -203,35 +250,29 @@ func (rt *staticRuntime) afterDecode(s *sim.Simulator) {
 	}
 	rt.running = still
 	// Cache overflow → LIFO preemption with recomputation.
-	for rt.pipe.usedTokens > rt.pipe.tokenCap && len(rt.running) > 0 {
-		victimIdx := 0
-		for i, r := range rt.running {
-			if rt.seq[r.wl.ID] > rt.seq[rt.running[victimIdx].wl.ID] {
-				victimIdx = i
-			}
-		}
+	for rt.used > rt.pipe.tokenCap && len(rt.running) > 0 {
+		victimIdx := rt.victimIdx()
 		v := rt.running[victimIdx]
 		rt.running = append(rt.running[:victimIdx], rt.running[victimIdx+1:]...)
-		rt.pipe.usedTokens -= int64(v.contextLen())
+		rt.used -= int64(v.contextLen())
 		v.evicted = true
 		v.restartCtx = v.contextLen()
+		v.hauled = false
 		rt.waiting.pushFront(v)
 		delete(rt.byID, v.wl.ID)
 		rt.res.Evictions++
 		rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindEviction, Request: v.wl.ID})
 	}
-	if used := rt.pipe.usedTokens * rt.cfg.Model.KVBytesPerToken(); used > rt.res.PeakCacheUsed {
+	if used := rt.used * rt.cfg.Model.KVBytesPerToken(); used > rt.res.PeakCacheUsed {
 		rt.res.PeakCacheUsed = used
 	}
 }
 
 func (rt *staticRuntime) finish(s *sim.Simulator, r *request) {
-	rt.pipe.usedTokens -= int64(r.contextLen())
-	if rt.pipe.usedTokens < 0 {
-		rt.pipe.usedTokens = 0
+	rt.used -= int64(r.contextLen())
+	if rt.used < 0 {
+		rt.used = 0
 	}
 	delete(rt.byID, r.wl.ID)
-	recordFinish(rt.res.Sink, r, s.Now())
-	rt.res.Completed++
-	rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
+	rt.fleet.finishOne(s, r)
 }

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"hetis/internal/hardware"
+	"hetis/internal/metrics"
 	"hetis/internal/parallelizer"
 	"hetis/internal/perf"
 	"hetis/internal/sim"
@@ -87,45 +89,287 @@ func (sw *Splitwise) Run(reqs []workload.Request, horizon float64) (*Result, err
 	iters := moduleSeriesCap(reqs)
 	res.DenseTimes = make([]float64, 0, iters)
 	res.AttnTimes = make([]float64, 0, iters)
-	sw.prefill.usedTokens = 0 // fresh run
-	sw.decode.usedTokens = 0
-	rt := &splitwiseRuntime{sw: sw, res: res, seq: map[int64]int64{}}
+	chaos := sw.cfg.Chaos.normalize()
+	var ctl *chaosCtl
+	runSink := sink
+	if chaos != nil {
+		ctl = newChaosCtl(chaos, res, res.Trace, sink)
+		runSink = ctl
+	}
+	f := newSplitwiseFleet(sw, res, ctl, runSink, chaos)
+	if ctl != nil {
+		ctl.bind(f)
+	}
 	s := sim.New()
 	s.MaxEvents = sw.cfg.MaxSimEvents(len(reqs))
+	ctl.start(s)
 	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
-		rt.prefillQ.push(r)
-		rt.seq[r.wl.ID] = rt.nextSeq
-		rt.nextSeq++
-		res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
-		rt.kickPrefill(s)
+		if !f.admitArrival(s, r) {
+			return
+		}
+		f.route(s, r)
 	})
 	if err := s.Run(horizon); err != nil {
 		return nil, err
 	}
 	res.Horizon = s.Now()
 	res.Events = s.Executed
+	res.Queued = f.inSystem
 	return res, nil
+}
+
+// splitwiseFleet replicates the prefill/decode pair: a replica is one
+// whole phase-split deployment, so a failure takes down both sides and a
+// scale-up adds another pair.
+type splitwiseFleet struct {
+	fleetCore
+	sw       *Splitwise
+	replicas []*splitwiseRuntime
+}
+
+func newSplitwiseFleet(sw *Splitwise, res *Result, ctl *chaosCtl, sink metrics.Sink, chaos *ChaosConfig) *splitwiseFleet {
+	width, total := 1, 1
+	if chaos != nil {
+		width = chaos.initialReplicas()
+		total = chaos.maxReplicas()
+	}
+	f := &splitwiseFleet{fleetCore: newFleetCore(sw.cfg, res, ctl, sink), sw: sw}
+	for i := 0; i < total; i++ {
+		rt := &splitwiseRuntime{
+			sw:       sw,
+			res:      res,
+			fleet:    f,
+			idx:      i,
+			state:    replicaParked,
+			prefillQ: newWaitQueue(ctl.tiered()),
+			decodeQ:  newWaitQueue(ctl.tiered()),
+			handoffs: map[int64]*request{},
+		}
+		if i < width {
+			rt.state = replicaActive
+		}
+		f.replicas = append(f.replicas, rt)
+	}
+	return f
+}
+
+// activeCount implements chaosFleet.
+func (f *splitwiseFleet) activeCount() int {
+	n := 0
+	for _, rt := range f.replicas {
+		if rt.state == replicaActive {
+			n++
+		}
+	}
+	return n
+}
+
+// route sends a request to the least-loaded active replica's prefill
+// queue, or parks it when no replica is serving.
+func (f *splitwiseFleet) route(s *sim.Simulator, r *request) {
+	var best *splitwiseRuntime
+	for _, rt := range f.replicas {
+		if rt.state != replicaActive {
+			continue
+		}
+		if best == nil || rt.load() < best.load() {
+			best = rt
+		}
+	}
+	if best == nil {
+		f.parked.push(r)
+		return
+	}
+	best.prefillQ.push(r)
+	best.kickPrefill(s)
+}
+
+// deactivate takes a replica pair out of service. Requests holding KV on
+// the decode side (running or transferred) haul it to survivors under
+// haul mode; everything else — waiting, mid-prefill, mid-handoff — loses
+// its progress and re-prefills.
+func (f *splitwiseFleet) deactivate(s *sim.Simulator, rt *splitwiseRuntime, haul bool, to replicaState) {
+	rt.state = to
+	if rt.prefillBusy {
+		s.Cancel(rt.prefillPending)
+		rt.prefillBusy = false
+	}
+	if rt.decodeBusy {
+		s.Cancel(rt.decodePending)
+		rt.decodeBusy = false
+	}
+	rt.handoffGroup.CancelAll(s)
+
+	resident := map[int64]bool{}
+	var victims []*request
+	for _, r := range rt.running {
+		resident[r.wl.ID] = true
+		victims = append(victims, r)
+	}
+	for rt.decodeQ.len() > 0 {
+		r := rt.decodeQ.pop()
+		resident[r.wl.ID] = true
+		victims = append(victims, r)
+	}
+	for _, r := range rt.handoffs {
+		victims = append(victims, r)
+	}
+	victims = append(victims, rt.prefillBatch...)
+	for rt.prefillQ.len() > 0 {
+		victims = append(victims, rt.prefillQ.pop())
+	}
+	sort.Slice(victims, func(i, j int) bool { return f.seq[victims[i].wl.ID] < f.seq[victims[j].wl.ID] })
+	for _, r := range victims {
+		r.evicted = true
+		r.restartCtx = r.contextLen()
+		if haul && resident[r.wl.ID] {
+			r.hauled = true
+			f.haulTo(s, r, f.routeHauled)
+			continue
+		}
+		f.loseVictim(s, r)
+		f.route(s, r)
+	}
+	rt.running = rt.running[:0]
+	rt.prefillBatch = nil
+	rt.handoffs = map[int64]*request{}
+	rt.usedDecode = 0
+	rt.inPrefill = 0
+}
+
+// routeHauled lands a hauled request straight on a survivor's decode
+// queue: its KV moved with it, so it skips the prefill phase.
+func (f *splitwiseFleet) routeHauled(s *sim.Simulator, r *request) {
+	var best *splitwiseRuntime
+	for _, rt := range f.replicas {
+		if rt.state != replicaActive {
+			continue
+		}
+		if best == nil || rt.load() < best.load() {
+			best = rt
+		}
+	}
+	if best == nil {
+		r.hauled = false // park loses the staged KV
+		f.parked.push(r)
+		return
+	}
+	r.hauled = false // KV is resident again once the transfer lands
+	best.decodeQ.push(r)
+	best.kickDecode(s)
+}
+
+// kill implements chaosFleet.
+func (f *splitwiseFleet) kill(s *sim.Simulator, replica int, haul bool) {
+	if replica >= len(f.replicas) {
+		return
+	}
+	rt := f.replicas[replica]
+	if rt.state != replicaActive {
+		return
+	}
+	f.deactivate(s, rt, haul, replicaFailed)
+}
+
+// revive implements chaosFleet.
+func (f *splitwiseFleet) revive(s *sim.Simulator, replica int) {
+	if replica >= len(f.replicas) {
+		return
+	}
+	rt := f.replicas[replica]
+	if rt.state != replicaFailed {
+		return
+	}
+	f.activate(s, rt)
+}
+
+// activate brings a replica into service, hands it the parked backlog,
+// and steals queued prefill work from busier replicas (decode queues stay
+// put — their KV is resident where it is).
+func (f *splitwiseFleet) activate(s *sim.Simulator, rt *splitwiseRuntime) {
+	rt.state = replicaActive
+	for f.parked.len() > 0 {
+		rt.prefillQ.push(f.parked.pop())
+	}
+	for {
+		var donor *splitwiseRuntime
+		for _, o := range f.replicas {
+			if o == rt || o.state != replicaActive {
+				continue
+			}
+			if donor == nil || o.prefillQ.len() > donor.prefillQ.len() {
+				donor = o
+			}
+		}
+		if donor == nil || donor.prefillQ.len() <= rt.prefillQ.len()+1 {
+			break
+		}
+		rt.prefillQ.push(donor.prefillQ.pop())
+	}
+	rt.kickPrefill(s)
+}
+
+// scaleUp implements chaosFleet.
+func (f *splitwiseFleet) scaleUp(s *sim.Simulator) bool {
+	for _, rt := range f.replicas {
+		if rt.state == replicaParked {
+			f.activate(s, rt)
+			return true
+		}
+	}
+	return false
+}
+
+// scaleDown implements chaosFleet.
+func (f *splitwiseFleet) scaleDown(s *sim.Simulator) bool {
+	if f.activeCount() <= 1 {
+		return false
+	}
+	for i := len(f.replicas) - 1; i >= 0; i-- {
+		if f.replicas[i].state == replicaActive {
+			f.deactivate(s, f.replicas[i], true, replicaParked)
+			return true
+		}
+	}
+	return false
 }
 
 type splitwiseRuntime struct {
 	sw  *Splitwise
 	res *Result
 
-	prefillQ    queue
+	fleet *splitwiseFleet
+	idx   int
+	state replicaState
+
+	prefillQ    *waitQueue
 	prefillBusy bool
+	// prefillPending is the prefill loop's single outstanding event;
+	// prefillBatch the requests inside an in-flight prefill iteration.
+	prefillPending sim.Handle
+	prefillBatch   []*request
 	// inPrefill tracks tokens resident on the prefill side.
 	inPrefill int64
 
 	// transferFree is when the prefill→decode link next frees up;
-	// transfers of different requests serialize on it.
+	// transfers of different requests serialize on it. Handoff events are
+	// tracked in handoffGroup (with the requests in handoffs) so a failure
+	// can abort the transfers in flight.
 	transferFree float64
+	handoffGroup sim.Group
+	handoffs     map[int64]*request
 
-	decodeQ    queue
-	running    []*request
-	decodeBusy bool
+	decodeQ *waitQueue
+	running []*request
+	// usedDecode is the decode side's cache occupancy in tokens.
+	usedDecode    int64
+	decodeBusy    bool
+	decodePending sim.Handle
+}
 
-	seq     map[int64]int64
-	nextSeq int64
+// load is the replica's in-system request count, the routing key.
+func (rt *splitwiseRuntime) load() int {
+	return rt.prefillQ.len() + len(rt.prefillBatch) + len(rt.handoffs) + rt.decodeQ.len() + len(rt.running)
 }
 
 func (rt *splitwiseRuntime) kickPrefill(s *sim.Simulator) {
@@ -133,7 +377,7 @@ func (rt *splitwiseRuntime) kickPrefill(s *sim.Simulator) {
 		return
 	}
 	rt.prefillBusy = true
-	s.After(0, "sw-prefill-step", rt.prefillStep)
+	rt.prefillPending = s.After(0, "sw-prefill-step", rt.prefillStep)
 }
 
 func (rt *splitwiseRuntime) prefillStep(s *sim.Simulator) {
@@ -146,6 +390,7 @@ func (rt *splitwiseRuntime) prefillStep(s *sim.Simulator) {
 		if ctx > rt.sw.prefill.tokenCap {
 			rt.prefillQ.pop() // cannot ever prefill
 			rt.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: exceeds prefill cache")
+			rt.fleet.dropAdmitted(s, r)
 			continue
 		}
 		if rt.inPrefill+ctx > rt.sw.prefill.tokenCap && len(admitted) > 0 {
@@ -167,8 +412,10 @@ func (rt *splitwiseRuntime) prefillStep(s *sim.Simulator) {
 	for i, r := range admitted {
 		prompts[i] = r.restartCtx
 	}
+	rt.prefillBatch = admitted
 	dt := rt.sw.prefill.prefillTime(rt.sw.est, cfg, prompts)
-	s.After(dt, "sw-prefill-done", func(s *sim.Simulator) {
+	rt.prefillPending = s.After(dt, "sw-prefill-done", func(s *sim.Simulator) {
+		rt.prefillBatch = nil
 		for _, r := range admitted {
 			if r.firstTok == 0 {
 				r.firstTok = s.Now()
@@ -179,8 +426,7 @@ func (rt *splitwiseRuntime) prefillStep(s *sim.Simulator) {
 			rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindPrefill, Request: r.wl.ID, Value: float64(r.restartCtx)})
 			if r.done() {
 				rt.inPrefill -= int64(r.restartCtx)
-				recordFinish(rt.res.Sink, r, s.Now())
-				rt.res.Completed++
+				rt.fleet.finishOne(s, r)
 				continue
 			}
 			rt.scheduleHandoff(s, r)
@@ -189,7 +435,7 @@ func (rt *splitwiseRuntime) prefillStep(s *sim.Simulator) {
 		// drain the NIC: the phase split forces a full-context cache
 		// transfer per request, which interferes with prefill (§2.3).
 		if rt.transferFree > s.Now() {
-			s.Schedule(rt.transferFree, "sw-prefill-nic", rt.prefillStep)
+			rt.prefillPending = s.Schedule(rt.transferFree, "sw-prefill-nic", rt.prefillStep)
 			return
 		}
 		rt.prefillStep(s)
@@ -210,13 +456,15 @@ func (rt *splitwiseRuntime) scheduleHandoff(s *sim.Simulator, r *request) {
 	rt.transferFree = done
 	rt.res.Migrations++
 	rt.res.MigratedBytes += bytes
-	s.Schedule(done, "sw-handoff", func(s *sim.Simulator) {
+	rt.handoffs[r.wl.ID] = r
+	rt.handoffGroup.Track(s, s.Schedule(done, "sw-handoff", func(s *sim.Simulator) {
+		delete(rt.handoffs, r.wl.ID)
 		rt.inPrefill -= int64(r.restartCtx)
 		rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindMigration, Request: r.wl.ID, Value: float64(bytes)})
 		rt.decodeQ.push(r)
 		rt.kickDecode(s)
 		rt.kickPrefill(s)
-	})
+	}))
 }
 
 func (rt *splitwiseRuntime) kickDecode(s *sim.Simulator) {
@@ -224,7 +472,7 @@ func (rt *splitwiseRuntime) kickDecode(s *sim.Simulator) {
 		return
 	}
 	rt.decodeBusy = true
-	s.After(0, "sw-decode-step", rt.decodeStep)
+	rt.decodePending = s.After(0, "sw-decode-step", rt.decodeStep)
 }
 
 func (rt *splitwiseRuntime) decodeStep(s *sim.Simulator) {
@@ -234,16 +482,20 @@ func (rt *splitwiseRuntime) decodeStep(s *sim.Simulator) {
 	for rt.decodeQ.len() > 0 && len(rt.running) < cfg.MaxRunning {
 		r := rt.decodeQ.peek()
 		ctx := int64(r.contextLen())
-		if dec.usedTokens+ctx > dec.tokenCap {
+		if rt.fleet.ctl.tiered() && rt.usedDecode+ctx > dec.tokenCap && len(rt.running) > 0 {
+			rt.preemptFor(s, r, ctx)
+		}
+		if rt.usedDecode+ctx > dec.tokenCap {
 			if len(rt.running) == 0 && ctx > dec.tokenCap {
 				rt.decodeQ.pop()
 				rt.res.Trace.Addf(s.Now(), trace.KindEviction, r.wl.ID, -1, 0, "dropped: exceeds decode cache")
+				rt.fleet.dropAdmitted(s, r)
 				continue
 			}
 			break
 		}
 		rt.decodeQ.pop()
-		dec.usedTokens += ctx
+		rt.usedDecode += ctx
 		rt.running = append(rt.running, r)
 	}
 	if len(rt.running) == 0 {
@@ -257,10 +509,75 @@ func (rt *splitwiseRuntime) decodeStep(s *sim.Simulator) {
 	dt, dense, attn := dec.decodeTime(rt.sw.est, cfg, len(rt.running), ctxTokens)
 	rt.res.DenseTimes = append(rt.res.DenseTimes, dense)
 	rt.res.AttnTimes = append(rt.res.AttnTimes, attn)
-	s.After(dt, "sw-decode-done", func(s *sim.Simulator) {
+	rt.decodePending = s.After(dt, "sw-decode-done", func(s *sim.Simulator) {
 		rt.afterDecode(s)
 		rt.decodeStep(s)
 	})
+}
+
+// preemptFor evicts strictly-lower-priority running work until ctx tokens
+// fit on the decode cache (multi-tier chaos only): victims restart from
+// the prefill phase and re-transfer.
+func (rt *splitwiseRuntime) preemptFor(s *sim.Simulator, r *request, ctx int64) {
+	f := rt.fleet
+	dec := rt.sw.decode
+	for rt.usedDecode+ctx > dec.tokenCap {
+		idx := -1
+		for i, v := range rt.running {
+			if v.prio >= r.prio {
+				continue
+			}
+			if idx == -1 {
+				idx = i
+				continue
+			}
+			b := rt.running[idx]
+			if v.prio < b.prio || (v.prio == b.prio && f.seq[v.wl.ID] > f.seq[b.wl.ID]) {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		v := rt.running[idx]
+		rt.running = append(rt.running[:idx], rt.running[idx+1:]...)
+		rt.usedDecode -= int64(v.contextLen())
+		v.evicted = true
+		v.restartCtx = v.contextLen()
+		v.hauled = false
+		rt.prefillQ.push(v)
+		f.ctl.notePreempt(s, v)
+		rt.kickPrefill(s)
+	}
+}
+
+// victimIdx picks the eviction victim among running requests: globally
+// newest (LIFO) normally; under multi-tier chaos, lowest priority first
+// and newest within a priority.
+func (rt *splitwiseRuntime) victimIdx() int {
+	f := rt.fleet
+	best := 0
+	if f.ctl.tiered() {
+		for i, r := range rt.running {
+			b := rt.running[best]
+			if r.prio != b.prio {
+				if r.prio < b.prio {
+					best = i
+				}
+				continue
+			}
+			if f.seq[r.wl.ID] > f.seq[b.wl.ID] {
+				best = i
+			}
+		}
+		return best
+	}
+	for i, r := range rt.running {
+		if f.seq[r.wl.ID] > f.seq[rt.running[best].wl.ID] {
+			best = i
+		}
+	}
+	return best
 }
 
 func (rt *splitwiseRuntime) afterDecode(s *sim.Simulator) {
@@ -268,12 +585,10 @@ func (rt *splitwiseRuntime) afterDecode(s *sim.Simulator) {
 	var still []*request
 	for _, r := range rt.running {
 		r.generated++
-		dec.usedTokens++
+		rt.usedDecode++
 		if r.done() {
-			dec.usedTokens -= int64(r.contextLen())
-			recordFinish(rt.res.Sink, r, s.Now())
-			rt.res.Completed++
-			rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
+			rt.usedDecode -= int64(r.contextLen())
+			rt.fleet.finishOne(s, r)
 			continue
 		}
 		still = append(still, r)
@@ -281,27 +596,23 @@ func (rt *splitwiseRuntime) afterDecode(s *sim.Simulator) {
 	rt.running = still
 	// Cache overflow → LIFO preemption; victims must re-prefill and
 	// re-transfer.
-	for dec.usedTokens > dec.tokenCap && len(rt.running) > 0 {
-		victimIdx := 0
-		for i, r := range rt.running {
-			if rt.seq[r.wl.ID] > rt.seq[rt.running[victimIdx].wl.ID] {
-				victimIdx = i
-			}
-		}
+	for rt.usedDecode > dec.tokenCap && len(rt.running) > 0 {
+		victimIdx := rt.victimIdx()
 		v := rt.running[victimIdx]
 		rt.running = append(rt.running[:victimIdx], rt.running[victimIdx+1:]...)
-		dec.usedTokens -= int64(v.contextLen())
+		rt.usedDecode -= int64(v.contextLen())
 		v.evicted = true
 		v.restartCtx = v.contextLen()
+		v.hauled = false
 		rt.prefillQ.pushFront(v)
 		rt.res.Evictions++
 		rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindEviction, Request: v.wl.ID})
 		rt.kickPrefill(s)
 	}
-	if dec.usedTokens < 0 {
-		dec.usedTokens = 0
+	if rt.usedDecode < 0 {
+		rt.usedDecode = 0
 	}
-	if used := dec.usedTokens * rt.sw.cfg.Model.KVBytesPerToken(); used > rt.res.PeakCacheUsed {
+	if used := rt.usedDecode * rt.sw.cfg.Model.KVBytesPerToken(); used > rt.res.PeakCacheUsed {
 		rt.res.PeakCacheUsed = used
 	}
 }

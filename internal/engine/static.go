@@ -19,8 +19,10 @@ type staticPipeline struct {
 	links  []hardware.LinkSpec
 	// tokenCap is the number of cacheable tokens, bounded by the tightest
 	// stage: min_s floor(free_s / (kvPerTokenLayer · layers_s)).
-	tokenCap   int64
-	usedTokens int64
+	// Occupancy lives on the runtime replica (staticRuntime.used), not
+	// here: the pipeline is a pure shared shape that chaos-mode fleets
+	// replicate without copying.
+	tokenCap int64
 
 	// denseMemo caches per-batch dense stage times (pure in batch size;
 	// see decodeTime), and attnScratch is the per-iteration attention

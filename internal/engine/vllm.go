@@ -6,8 +6,6 @@ import (
 	"hetis/internal/hardware"
 	"hetis/internal/parallelizer"
 	"hetis/internal/perf"
-	"hetis/internal/sim"
-	"hetis/internal/trace"
 	"hetis/internal/workload"
 )
 
@@ -57,40 +55,5 @@ func (v *VLLM) Devices() []hardware.DeviceID {
 
 // Run implements Engine, reusing the colocated static runtime.
 func (v *VLLM) Run(reqs []workload.Request, horizon float64) (*Result, error) {
-	reqs = workload.Truncate(reqs, v.cfg.Model.MaxSeqLen)
-	sink, rec := v.cfg.newRunSink()
-	res := &Result{
-		Engine:        v.Name(),
-		Sink:          sink,
-		Recorder:      rec,
-		Trace:         v.cfg.newTraceLog(),
-		CacheCapacity: v.CacheCapacity(),
-	}
-	iters := moduleSeriesCap(reqs)
-	res.DenseTimes = make([]float64, 0, iters)
-	res.AttnTimes = make([]float64, 0, iters)
-	v.pipe.usedTokens = 0
-	rt := &staticRuntime{
-		cfg:  v.cfg,
-		est:  v.est,
-		pipe: v.pipe,
-		res:  res,
-		byID: map[int64]*request{},
-		seq:  map[int64]int64{},
-	}
-	s := sim.New()
-	s.MaxEvents = v.cfg.MaxSimEvents(len(reqs))
-	scheduleArrivals(s, reqs, func(s *sim.Simulator, r *request) {
-		rt.waiting.push(r)
-		rt.seq[r.wl.ID] = rt.nextSeq
-		rt.nextSeq++
-		res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
-		rt.kick(s)
-	})
-	if err := s.Run(horizon); err != nil {
-		return nil, err
-	}
-	res.Horizon = s.Now()
-	res.Events = s.Executed
-	return res, nil
+	return runStatic(v.Name(), v.cfg, v.est, v.pipe, v.CacheCapacity(), reqs, horizon)
 }

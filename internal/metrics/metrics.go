@@ -25,6 +25,15 @@ type RequestRecord struct {
 	Tenant string
 	// Evicted marks requests whose processing was restarted at least once.
 	Evicted bool
+	// Dropped marks requests the system gave up on — rejected by admission
+	// control or unservable within capacity. A dropped record carries no
+	// meaningful latency (FirstToken may be zero); latency summaries skip
+	// it, but it stays in the attainment/goodput denominator: dropping a
+	// request is the strongest possible SLO miss, so a system must not
+	// improve its attainment by shedding load. Preempted-then-requeued
+	// requests are NOT dropped — they surface exactly once, as their final
+	// completion record (with Evicted set).
+	Dropped bool
 }
 
 // TTFT is the time-to-first-token.
@@ -62,8 +71,23 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Add appends one finished request.
 func (c *Recorder) Add(r RequestRecord) { c.records = append(c.records, r) }
 
-// Count reports the number of recorded requests.
+// Count reports the number of recorded requests — completed plus dropped.
 func (c *Recorder) Count() int { return len(c.records) }
+
+// Completed reports the recorded requests that actually finished (Count
+// minus dropped).
+func (c *Recorder) Completed() int { return len(c.records) - c.DroppedCount() }
+
+// DroppedCount reports the recorded requests the system dropped.
+func (c *Recorder) DroppedCount() int {
+	n := 0
+	for _, r := range c.records {
+		if r.Dropped {
+			n++
+		}
+	}
+	return n
+}
 
 // Records returns the raw records (caller must not mutate).
 func (c *Recorder) Records() []RequestRecord { return c.records }
@@ -76,10 +100,15 @@ type Summary struct {
 	Min, Max      float64
 }
 
-// Summarize computes a Summary of f over all records.
+// Summarize computes a Summary of f over the completed records. Dropped
+// records are skipped: they never produced the measured latencies, and a
+// zero TTFT from a rejected request would flatter the percentiles.
 func (c *Recorder) Summarize(f func(RequestRecord) float64) Summary {
 	vals := make([]float64, 0, len(c.records))
 	for _, r := range c.records {
+		if r.Dropped {
+			continue
+		}
 		vals = append(vals, f(r))
 	}
 	return SummarizeValues(vals)
@@ -109,16 +138,21 @@ func (c *Recorder) NormLatencySummary() Summary {
 // each. The results are float-for-float identical to the per-metric calls:
 // both paths sort the same values and run the same accumulation.
 func (c *Recorder) Summaries() (ttft, tpot, norm Summary) {
-	n := len(c.records)
+	n := c.Completed()
 	if n == 0 {
 		return
 	}
 	buf := make([]float64, 3*n)
 	tv, pv, nv := buf[:n:n], buf[n:2*n:2*n], buf[2*n:]
-	for i, r := range c.records {
+	i := 0
+	for _, r := range c.records {
+		if r.Dropped {
+			continue
+		}
 		tv[i] = r.TTFT()
 		pv[i] = r.TPOT()
 		nv[i] = r.NormLatency()
+		i++
 	}
 	return summarizeSorted(tv), summarizeSorted(pv), summarizeSorted(nv)
 }

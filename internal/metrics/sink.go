@@ -25,19 +25,24 @@ type Sink interface {
 // count every record as attained, matching the zero SLOTarget), and the
 // three standard latency summaries.
 type Snapshot struct {
+	// Count is the completed-request count; Dropped counts requests the
+	// system rejected or shed. Attainment divides by their sum (see
+	// Recorder.Attainment for the denominator rationale).
 	Count    int
+	Dropped  int
 	Attained int
 	TTFT     Summary
 	TPOT     Summary
 	NormLat  Summary
 }
 
-// Attainment is the attained fraction (0 when nothing was observed).
+// Attainment is the attained fraction of completed + dropped requests
+// (0 when nothing was observed).
 func (s Snapshot) Attainment() float64 {
-	if s.Count == 0 {
+	if s.Count+s.Dropped == 0 {
 		return 0
 	}
-	return float64(s.Attained) / float64(s.Count)
+	return float64(s.Attained) / float64(s.Count+s.Dropped)
 }
 
 // Goodput is the rate of attained completions over the horizon, in
@@ -67,7 +72,8 @@ func (c *Recorder) Observe(r RequestRecord) { c.Add(r) }
 func (c *Recorder) Snapshot() Snapshot {
 	ttft, tpot, norm := c.Summaries()
 	return Snapshot{
-		Count:    len(c.records),
+		Count:    c.Completed(),
+		Dropped:  c.DroppedCount(),
 		Attained: c.Attained(c.slo),
 		TTFT:     ttft,
 		TPOT:     tpot,
@@ -126,6 +132,7 @@ func (s *StreamStat) Summary() Summary {
 type StreamingSink struct {
 	slo      SLOTarget
 	count    int
+	dropped  int
 	attained int
 	ttft     *StreamStat
 	tpot     *StreamStat
@@ -143,8 +150,13 @@ func NewStreamingSink(slo SLOTarget) *StreamingSink {
 	}
 }
 
-// Observe implements Sink.
+// Observe implements Sink. Dropped records are counted separately and
+// excluded from the latency sketches (see RequestRecord.Dropped).
 func (s *StreamingSink) Observe(r RequestRecord) {
+	if r.Dropped {
+		s.dropped++
+		return
+	}
 	s.count++
 	if s.slo.Attained(r) {
 		s.attained++
@@ -158,6 +170,7 @@ func (s *StreamingSink) Observe(r RequestRecord) {
 func (s *StreamingSink) Snapshot() Snapshot {
 	return Snapshot{
 		Count:    s.count,
+		Dropped:  s.dropped,
 		Attained: s.attained,
 		TTFT:     s.ttft.Summary(),
 		TPOT:     s.tpot.Summary(),
@@ -232,3 +245,58 @@ func (m *TenantMux) Tenants() []string {
 
 // Tenant returns the sub-sink for a tenant (nil if never seen).
 func (m *TenantMux) Tenant(name string) Sink { return m.byTenant[name] }
+
+// KeyedMux generalizes TenantMux to an arbitrary record→key function, so
+// records can be attributed along any dimension — priority tier, dataset,
+// arrival phase — with one sub-sink per distinct key. Unlike TenantMux it
+// does not wrap an aggregate sink: compose it behind one with Tee when an
+// aggregate view is also needed.
+type KeyedMux struct {
+	key   func(RequestRecord) string
+	make  func(key string) Sink
+	byKey map[string]Sink
+}
+
+// NewKeyedMux builds a mux classifying records with key; make constructs
+// the per-key sinks lazily.
+func NewKeyedMux(key func(RequestRecord) string, make func(key string) Sink) *KeyedMux {
+	return &KeyedMux{key: key, make: make, byKey: map[string]Sink{}}
+}
+
+// Observe implements Sink.
+func (m *KeyedMux) Observe(r RequestRecord) {
+	k := m.key(r)
+	sub, ok := m.byKey[k]
+	if !ok {
+		sub = m.make(k)
+		m.byKey[k] = sub
+	}
+	sub.Observe(r)
+}
+
+// Snapshot implements Sink by summing the per-key counts; latency
+// summaries stay zero (per-key sketches cannot be merged — read the Key
+// sub-sinks for those).
+func (m *KeyedMux) Snapshot() Snapshot {
+	var s Snapshot
+	for _, sub := range m.byKey {
+		ss := sub.Snapshot()
+		s.Count += ss.Count
+		s.Dropped += ss.Dropped
+		s.Attained += ss.Attained
+	}
+	return s
+}
+
+// Keys lists the keys seen so far, sorted ascending.
+func (m *KeyedMux) Keys() []string {
+	out := make([]string, 0, len(m.byKey))
+	for k := range m.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Key returns the sub-sink for a key (nil if never seen).
+func (m *KeyedMux) Key(name string) Sink { return m.byKey[name] }

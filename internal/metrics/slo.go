@@ -19,8 +19,13 @@ type SLOTarget struct {
 // IsZero reports whether no objective is set.
 func (s SLOTarget) IsZero() bool { return s.TTFT == 0 && s.TPOT == 0 }
 
-// Attained reports whether the request met every set objective.
+// Attained reports whether the request met every set objective. A dropped
+// request never attains — even against the zero SLOTarget — because a
+// request the system refused to serve met no latency target at all.
 func (s SLOTarget) Attained(r RequestRecord) bool {
+	if r.Dropped {
+		return false
+	}
 	if s.TTFT > 0 && r.TTFT() > s.TTFT {
 		return false
 	}
@@ -43,6 +48,14 @@ func (c *Recorder) Attained(slo SLOTarget) int {
 
 // Attainment is the fraction of recorded requests meeting the SLO
 // (0 when nothing finished — an idle system attains nothing).
+//
+// Denominator choice, made explicit for overload scenarios: the recorder
+// holds one record per completed request plus one per dropped request, so
+// the denominator is completed + dropped. Dropped requests never attain
+// (see SLOTarget.Attained), so shedding load lowers attainment instead of
+// laundering it. Preempted-and-requeued requests appear exactly once — as
+// their eventual completion — so a preemption costs latency, not a
+// denominator slot.
 func (c *Recorder) Attainment(slo SLOTarget) float64 {
 	if len(c.records) == 0 {
 		return 0
@@ -52,7 +65,8 @@ func (c *Recorder) Attainment(slo SLOTarget) float64 {
 
 // Goodput is the rate of SLO-attaining completions over the horizon,
 // in requests per second. Requests that never finished count against it
-// implicitly: they are not in the recorder.
+// implicitly: they are not in the recorder. Dropped requests are in the
+// recorder but never attain, so they count against goodput the same way.
 func (c *Recorder) Goodput(slo SLOTarget, horizon float64) float64 {
 	if horizon <= 0 {
 		return 0
@@ -63,8 +77,9 @@ func (c *Recorder) Goodput(slo SLOTarget, horizon float64) float64 {
 // TenantStats is one tenant's slice of a run.
 type TenantStats struct {
 	Tenant     string
-	Count      int     // finished requests
-	Attainment float64 // fraction of finished requests meeting the SLO
+	Count      int // completed requests
+	Dropped    int // dropped requests
+	Attainment float64 // attained fraction of (completed + dropped)
 	Goodput    float64 // attained req/s over the horizon
 	TTFT       Summary
 	TPOT       Summary
@@ -99,7 +114,8 @@ func (c *Recorder) PerTenant(slo SLOTarget, horizon float64) []TenantStats {
 		ttft, tpot, norm := sub.Summaries()
 		out = append(out, TenantStats{
 			Tenant:     name,
-			Count:      len(recs),
+			Count:      sub.Completed(),
+			Dropped:    sub.DroppedCount(),
 			Attainment: sub.Attainment(slo),
 			Goodput:    sub.Goodput(slo, horizon),
 			TTFT:       ttft,

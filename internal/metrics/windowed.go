@@ -14,15 +14,27 @@ type WindowStat struct {
 	// covers [Start, Start+window).
 	Start float64
 	// Completions counts requests finished in the window; Attained those
-	// meeting the series' SLO.
+	// meeting the series' SLO; Dropped the requests shed in the window
+	// (excluded from Completions and the latency sketches, but part of the
+	// window's attainment denominator — see Attainment).
 	Completions int
 	Attained    int
+	Dropped     int
 	// Goodput is attained completions per second of window.
 	Goodput float64
 	// TTFTP95 is the window's p95 time-to-first-token (sketch-estimated);
 	// NormLatP95 the window's p95 normalized latency.
 	TTFTP95    float64
 	NormLatP95 float64
+}
+
+// Attainment is the window's attained fraction of completed + dropped
+// requests (0 for an empty window).
+func (st WindowStat) Attainment() float64 {
+	if st.Completions+st.Dropped == 0 {
+		return 0
+	}
+	return float64(st.Attained) / float64(st.Completions+st.Dropped)
 }
 
 // WindowedSeries buckets completions into fixed-width time windows keyed
@@ -42,6 +54,7 @@ type WindowedSeries struct {
 	window   float64
 	slo      SLOTarget
 	count    int
+	dropped  int
 	attained int
 
 	done   []WindowStat
@@ -53,6 +66,7 @@ type WindowedSeries struct {
 type windowAccum struct {
 	completions int
 	attained    int
+	dropped     int
 	ttft        *QuantileSketch
 	norm        *QuantileSketch
 }
@@ -73,10 +87,17 @@ func NewWindowedSeries(window float64, slo SLOTarget) *WindowedSeries {
 // Window reports the bucket width in seconds.
 func (w *WindowedSeries) Window() float64 { return w.window }
 
-// Observe implements Sink.
+// Observe implements Sink. Dropped records land in the bucket of their
+// FinishedAt (the drop time) as Dropped counts: they widen the window's
+// attainment denominator without touching completions or latency sketches.
 func (w *WindowedSeries) Observe(r RequestRecord) {
-	w.count++
-	attained := w.slo.Attained(r)
+	dropped := r.Dropped
+	attained := !dropped && w.slo.Attained(r)
+	if dropped {
+		w.dropped++
+	} else {
+		w.count++
+	}
 	if attained {
 		w.attained++
 	}
@@ -99,6 +120,10 @@ func (w *WindowedSeries) Observe(r RequestRecord) {
 		w.curIdx = idx
 		w.cur = newWindowAccum()
 	}
+	if dropped {
+		w.cur.dropped++
+		return
+	}
 	w.cur.completions++
 	if attained {
 		w.cur.attained++
@@ -112,6 +137,7 @@ func (w *WindowedSeries) finalize(idx int, a *windowAccum) WindowStat {
 		Start:       float64(idx) * w.window,
 		Completions: a.completions,
 		Attained:    a.attained,
+		Dropped:     a.dropped,
 		Goodput:     float64(a.attained) / w.window,
 	}
 	if a.completions > 0 {
@@ -125,7 +151,7 @@ func (w *WindowedSeries) finalize(idx int, a *windowAccum) WindowStat {
 // latency summaries (see the type comment — pair with a StreamingSink for
 // those).
 func (w *WindowedSeries) Snapshot() Snapshot {
-	return Snapshot{Count: w.count, Attained: w.attained}
+	return Snapshot{Count: w.count, Dropped: w.dropped, Attained: w.attained}
 }
 
 // Windows returns the contiguous bucket series including the open bucket;
@@ -147,11 +173,7 @@ var WindowsHeader = []string{
 func (w *WindowedSeries) Table() *Table {
 	tab := &Table{Header: WindowsHeader}
 	for _, st := range w.Windows() {
-		attain := 0.0
-		if st.Completions > 0 {
-			attain = 100 * float64(st.Attained) / float64(st.Completions)
-		}
-		tab.AddRow(st.Start, st.Completions, st.Goodput, attain, st.TTFTP95, st.NormLatP95)
+		tab.AddRow(st.Start, st.Completions, st.Goodput, 100*st.Attainment(), st.TTFTP95, st.NormLatP95)
 	}
 	return tab
 }

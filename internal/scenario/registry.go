@@ -58,15 +58,17 @@ func Names() []string {
 	return out
 }
 
-// SuiteNames lists the registered non-Heavy scenarios in sorted order —
-// what catalog-wide expansions ("all", the bench suite, the scenarios
-// experiment) run. Heavy scenarios run when named explicitly.
+// SuiteNames lists the registered non-Heavy, non-chaotic scenarios in
+// sorted order — what catalog-wide expansions ("all", the bench suite, the
+// scenarios experiment) run. Heavy and chaotic scenarios run when named
+// explicitly: the former because of their cost, the latter because their
+// tables carry extra columns the suite consumers don't expect.
 func SuiteNames() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	out := make([]string, 0, len(specs))
 	for name, s := range specs {
-		if !s.Heavy {
+		if !s.Heavy && !s.Chaotic() {
 			out = append(out, name)
 		}
 	}
@@ -136,6 +138,58 @@ func init() {
 			Duration:       50000,
 			Heavy:          true,
 			GoldenDuration: 40,
+		},
+		{
+			// Chaos: one of two replicas dies twice mid-trace. The first
+			// outage loses its KV (victims re-prefill from scratch); the
+			// second hauls resident KV to the survivor over the
+			// interconnect. Pins re-dispatch, recovery accounting and both
+			// KV policies on every engine.
+			Name:        "failover",
+			Description: "steady 5 req/s on two replicas; replica 1 fails twice (KV lost, then KV hauled)",
+			Traffic:     Traffic{Kind: KindPoisson, Rate: 5},
+			Engines:     []string{"hetis", "hexgen", "vllm", "splitwise"},
+			Replicas:    2,
+			FailurePlan: []FailureEvent{
+				{Replica: 1, Start: 0.25, End: 0.55},
+				{Replica: 1, Start: 0.6, End: 0.85, HaulKV: true},
+			},
+		},
+		{
+			// Chaos: the flash-crowd spike drives SLO attainment down and
+			// the controller scales 1 → 3 replicas behind a provisioning
+			// lag, then folds back once the wave passes. The spike spans
+			// many control intervals so the reactive loop has time to help
+			// (a spike shorter than the window ends before misses surface).
+			Name:        "autoscale",
+			Description: "flash-crowd spike under an SLO-driven autoscaler (1-3 replicas, provisioning lag)",
+			Traffic:     Traffic{Kind: KindFlashCrowd, Rate: 2.5, SpikeStart: 0.4, SpikeFrac: 1.0 / 4, SpikeFactor: 6},
+			Duration:    160,
+			Autoscale: &AutoscaleSpec{
+				MinReplicas: 1, MaxReplicas: 3,
+				Interval: 0.04, Lag: 0.02,
+				UpBelow: 0.7, DownAbove: 0.95,
+			},
+		},
+		{
+			// Chaos: gold-tier chat preempts the uncapped silver tier's
+			// long-context batch work out of KV memory, while bronze bulk
+			// traffic is admission-capped so overload drops it instead of
+			// starving the tiers above. Pins preemption counts, admission
+			// drops and per-tier SLO rows.
+			Name:        "preempt",
+			Description: "10 req/s chat+batch+bulk mix: gold preempts silver's long contexts, bronze is admission-capped",
+			Traffic:     Traffic{Kind: KindPoisson, Rate: 10},
+			Mix: []workload.MixEntry{
+				{Tenant: "chat", Dataset: workload.ShareGPT, Weight: 2},
+				{Tenant: "batch", Dataset: workload.LongBench, Weight: 2},
+				{Tenant: "bulk", Dataset: workload.LongBench, Weight: 1},
+			},
+			Tiers: []TierSpec{
+				{Name: "gold", Tenants: []string{"chat"}, Priority: 2},
+				{Name: "silver", Tenants: []string{"batch"}, Priority: 1},
+				{Name: "bronze", Tenants: []string{"bulk"}, Priority: 0, MaxInflight: 8},
+			},
 		},
 	}
 	for _, s := range builtins {

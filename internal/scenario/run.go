@@ -13,11 +13,27 @@ import (
 
 // Header is the column layout of scenario tables. Every engine contributes
 // an aggregate row (Tenant "all"); multi-tenant scenarios add one row per
-// tenant. Goodput and Attain are measured against the spec's SLO.
+// tenant, and tiered chaos scenarios one per tier (Tenant "tier:NAME").
+// Goodput and Attain are measured against the spec's SLO.
 var Header = []string{
 	"Scenario", "Engine", "Tenant",
 	"Offered", "Completed", "Goodput(req/s)", "Attain(%)",
 	"TTFT-p95(s)", "TPOT-p95(s)", "NormLat-mean(s/tok)",
+}
+
+// ChaosColumns are the extra columns chaotic scenarios append: admission
+// and unservable drops, priority preemptions, and the mean time from a
+// failure to the next completion (the recovery measure). Dropped requests
+// stay in the attainment denominator and never attain.
+var ChaosColumns = []string{"Dropped", "Preempted", "Recovery-mean(s)"}
+
+// HeaderFor returns the table header for a scenario: the base Header, plus
+// ChaosColumns when the scenario is chaotic.
+func HeaderFor(chaotic bool) []string {
+	if !chaotic {
+		return Header
+	}
+	return append(append([]string(nil), Header...), ChaosColumns...)
 }
 
 // EngineBuilder constructs a named engine for a config and the trace it
@@ -95,11 +111,12 @@ func RunEngine(spec Spec, engineName string, opts Options) (*metrics.Table, erro
 type streamPipeline struct {
 	agg     metrics.Sink // the aggregate view: the mux when present, else the bare sink
 	mux     *metrics.TenantMux
+	tiers   *metrics.KeyedMux
 	windows *metrics.WindowedSeries
 	sink    metrics.Sink
 }
 
-func newStreamPipeline(slo metrics.SLOTarget, window float64, tenants bool) *streamPipeline {
+func newStreamPipeline(slo metrics.SLOTarget, window float64, tenants bool, tierKey func(metrics.RequestRecord) string) *streamPipeline {
 	p := &streamPipeline{agg: metrics.NewStreamingSink(slo)}
 	if tenants {
 		p.mux = metrics.NewTenantMux(p.agg, func(string) metrics.Sink {
@@ -107,10 +124,20 @@ func newStreamPipeline(slo metrics.SLOTarget, window float64, tenants bool) *str
 		})
 		p.agg = p.mux
 	}
-	p.sink = p.agg
+	extras := make([]metrics.Sink, 0, 2)
 	if window > 0 {
 		p.windows = metrics.NewWindowedSeries(window, slo)
-		p.sink = metrics.NewTee(p.agg, p.windows)
+		extras = append(extras, p.windows)
+	}
+	if tierKey != nil {
+		p.tiers = metrics.NewKeyedMux(tierKey, func(string) metrics.Sink {
+			return metrics.NewStreamingSink(slo)
+		})
+		extras = append(extras, p.tiers)
+	}
+	p.sink = p.agg
+	if len(extras) > 0 {
+		p.sink = metrics.NewTee(p.agg, extras...)
 	}
 	return p
 }
@@ -146,9 +173,15 @@ func RunEngineSink(spec Spec, engineName string, opts Options) (rows, windows *m
 		build = BuildEngine
 	}
 	cfg := engine.DefaultConfig(m, cluster)
+	cfg.Chaos = spec.chaosConfig()
+	chaotic := cfg.Chaos.Active()
 	var stream *streamPipeline
 	if opts.Stream {
-		stream = newStreamPipeline(spec.SLO, opts.Window, multiTenant(reqs))
+		var tierKey func(metrics.RequestRecord) string
+		if chaotic && len(spec.Tiers) > 0 {
+			tierKey = func(r metrics.RequestRecord) string { return spec.tierOf(r.Tenant) }
+		}
+		stream = newStreamPipeline(spec.SLO, opts.Window, multiTenant(reqs), tierKey)
 		cfg.Sink = stream.sink
 		cfg.NoTrace = true
 	}
@@ -161,30 +194,58 @@ func RunEngineSink(spec Spec, engineName string, opts Options) (rows, windows *m
 		return nil, nil, fmt.Errorf("scenario %s/%s: %w", spec.Name, engineName, err)
 	}
 
-	tab := &metrics.Table{Header: Header}
+	tab := &metrics.Table{Header: HeaderFor(chaotic)}
 	if stream != nil {
-		streamRows(tab, spec, engineName, reqs, res.Horizon, stream)
+		streamRows(tab, spec, engineName, reqs, res, stream, chaotic)
 		if stream.windows != nil {
 			windows = stream.windows.Table()
 		}
 		return tab, windows, nil
 	}
-	exactRows(tab, spec, engineName, reqs, res)
+	exactRows(tab, spec, engineName, reqs, res, chaotic)
 	return tab, nil, nil
 }
 
+// meanOf is the arithmetic mean (0 for an empty slice).
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// tierPreempted sums a tier's preemption count from the per-tenant ledger.
+func tierPreempted(spec Spec, res *engine.Result, tier string) int {
+	n := 0
+	for tenant, c := range res.PreemptedByTenant {
+		if spec.tierOf(tenant) == tier {
+			n += c
+		}
+	}
+	return n
+}
+
 // exactRows fills the table from the run's exact recorder — the original,
-// golden-pinned path, byte-identical to what it always produced.
-func exactRows(tab *metrics.Table, spec Spec, engineName string, reqs []workload.Request, res *engine.Result) {
+// golden-pinned path, byte-identical to what it always produced. Chaotic
+// runs append the ChaosColumns and per-tier rows.
+func exactRows(tab *metrics.Table, spec Spec, engineName string, reqs []workload.Request, res *engine.Result, chaotic bool) {
 	rec := res.Recorder
 	ttft, tpot, norm := rec.Summaries()
-	tab.AddRow(spec.Name, engineName, "all",
-		len(reqs), rec.Count(),
+	row := []any{spec.Name, engineName, "all",
+		len(reqs), rec.Completed(),
 		rec.Goodput(spec.SLO, res.Horizon),
-		100*rec.Attainment(spec.SLO),
+		100 * rec.Attainment(spec.SLO),
 		ttft.P95,
 		tpot.P95,
-		norm.Mean)
+		norm.Mean}
+	if chaotic {
+		row = append(row, rec.DroppedCount(), res.Preempted, meanOf(res.RecoveryTimes))
+	}
+	tab.AddRow(row...)
 
 	if multiTenant(reqs) {
 		offered := offeredByTenant(reqs)
@@ -196,11 +257,40 @@ func exactRows(tab *metrics.Table, spec Spec, engineName string, reqs []workload
 		// tenants whose every request starved still show a zero row.
 		for _, tenant := range tenantNames(offered) {
 			ts := byTenant[tenant]
-			tab.AddRow(spec.Name, engineName, tenant,
+			row := []any{spec.Name, engineName, tenant,
 				offered[tenant], ts.Count,
-				ts.Goodput, 100*ts.Attainment,
+				ts.Goodput, 100 * ts.Attainment,
 				ts.TTFT.P95, ts.TPOT.P95,
-				ts.NormLat.Mean)
+				ts.NormLat.Mean}
+			if chaotic {
+				row = append(row, ts.Dropped, res.PreemptedByTenant[tenant], 0.0)
+			}
+			tab.AddRow(row...)
+		}
+	}
+
+	if chaotic && len(spec.Tiers) > 0 {
+		offered := offeredByTenant(reqs)
+		for _, t := range spec.Tiers {
+			sub := metrics.NewRecorder()
+			for _, r := range rec.Records() {
+				if spec.tierOf(r.Tenant) == t.Name {
+					sub.Add(r)
+				}
+			}
+			offeredN := 0
+			for tenant, n := range offered {
+				if spec.tierOf(tenant) == t.Name {
+					offeredN += n
+				}
+			}
+			ttft, tpot, norm := sub.Summaries()
+			tab.AddRow(spec.Name, engineName, "tier:"+t.Name,
+				offeredN, sub.Completed(),
+				sub.Goodput(spec.SLO, res.Horizon),
+				100*sub.Attainment(spec.SLO),
+				ttft.P95, tpot.P95, norm.Mean,
+				sub.DroppedCount(), tierPreempted(spec, res, t.Name), 0.0)
 		}
 	}
 }
@@ -208,15 +298,20 @@ func exactRows(tab *metrics.Table, spec Spec, engineName string, reqs []workload
 // streamRows fills the table from streaming-sink snapshots: the same
 // columns, with counts/goodput/attainment exact and percentiles carrying
 // the sketch bound.
-func streamRows(tab *metrics.Table, spec Spec, engineName string, reqs []workload.Request, horizon float64, p *streamPipeline) {
+func streamRows(tab *metrics.Table, spec Spec, engineName string, reqs []workload.Request, res *engine.Result, p *streamPipeline, chaotic bool) {
+	horizon := res.Horizon
 	snap := p.agg.Snapshot()
-	tab.AddRow(spec.Name, engineName, "all",
+	row := []any{spec.Name, engineName, "all",
 		len(reqs), snap.Count,
 		snap.Goodput(horizon),
-		100*snap.Attainment(),
+		100 * snap.Attainment(),
 		snap.TTFT.P95,
 		snap.TPOT.P95,
-		snap.NormLat.Mean)
+		snap.NormLat.Mean}
+	if chaotic {
+		row = append(row, snap.Dropped, res.Preempted, meanOf(res.RecoveryTimes))
+	}
+	tab.AddRow(row...)
 
 	if p.mux != nil {
 		offered := offeredByTenant(reqs)
@@ -225,11 +320,36 @@ func streamRows(tab *metrics.Table, spec Spec, engineName string, reqs []workloa
 			if sub := p.mux.Tenant(tenant); sub != nil {
 				ts = sub.Snapshot()
 			}
-			tab.AddRow(spec.Name, engineName, tenant,
+			row := []any{spec.Name, engineName, tenant,
 				offered[tenant], ts.Count,
-				ts.Goodput(horizon), 100*ts.Attainment(),
+				ts.Goodput(horizon), 100 * ts.Attainment(),
 				ts.TTFT.P95, ts.TPOT.P95,
-				ts.NormLat.Mean)
+				ts.NormLat.Mean}
+			if chaotic {
+				row = append(row, ts.Dropped, res.PreemptedByTenant[tenant], 0.0)
+			}
+			tab.AddRow(row...)
+		}
+	}
+
+	if p.tiers != nil {
+		offered := offeredByTenant(reqs)
+		for _, t := range spec.Tiers {
+			var ts metrics.Snapshot
+			if sub := p.tiers.Key(t.Name); sub != nil {
+				ts = sub.Snapshot()
+			}
+			offeredN := 0
+			for tenant, n := range offered {
+				if spec.tierOf(tenant) == t.Name {
+					offeredN += n
+				}
+			}
+			tab.AddRow(spec.Name, engineName, "tier:"+t.Name,
+				offeredN, ts.Count,
+				ts.Goodput(horizon), 100*ts.Attainment(),
+				ts.TTFT.P95, ts.TPOT.P95, ts.NormLat.Mean,
+				ts.Dropped, tierPreempted(spec, res, t.Name), 0.0)
 		}
 	}
 }
@@ -246,7 +366,7 @@ func offeredByTenant(reqs []workload.Request) map[string]int {
 func Run(spec Spec, opts Options) (*metrics.Table, error) {
 	spec = Prepare(spec, opts.Quick)
 	opts.Quick = false // already applied
-	tab := &metrics.Table{Header: Header}
+	tab := &metrics.Table{Header: HeaderFor(spec.Chaotic())}
 	for _, eng := range spec.Engines {
 		sub, err := RunEngine(spec, eng, opts)
 		if err != nil {

@@ -152,6 +152,36 @@ func (t Traffic) MeanRate() float64 {
 // read-speed target tight enough that overloaded engines visibly miss it).
 var DefaultSLO = metrics.SLOTarget{TTFT: 1.5, TPOT: 0.1}
 
+// FailureEvent takes one replica out of service for a window of the trace.
+// Start and End are fractions of Duration (like the flash-crowd spike), so
+// Quick scaling shrinks the outage with the trace; End past 1 reaches into
+// the drain tail. HaulKV decides whether the victims' KV cache migrates to
+// survivors over the interconnect or is lost (full re-prefill).
+type FailureEvent struct {
+	Replica    int
+	Start, End float64
+	HaulKV     bool
+}
+
+// AutoscaleSpec is the scenario face of the SLO-driven replica controller.
+// Interval and Lag are fractions of Duration; thresholds are attainment
+// fractions in [0, 1]. The controller measures against the spec's SLO.
+type AutoscaleSpec struct {
+	MinReplicas, MaxReplicas int
+	Interval, Lag            float64
+	UpBelow, DownAbove       float64
+}
+
+// TierSpec is one priority class of a tiered scenario: the tenants it
+// covers (empty = catch-all), its preemption priority, and an optional
+// admission cap on in-flight requests.
+type TierSpec struct {
+	Name        string
+	Tenants     []string
+	Priority    int
+	MaxInflight int
+}
+
 // Spec is a declarative serving scenario.
 type Spec struct {
 	Name        string
@@ -178,6 +208,17 @@ type Spec struct {
 	// Seed drives all sampling (default 1).
 	Duration float64
 	Seed     int64
+
+	// Replicas is the initial fleet width: the engine's deployment is
+	// replicated that many times (0 or 1 = the legacy single deployment).
+	Replicas int
+	// FailurePlan schedules replica failures over the trace.
+	FailurePlan []FailureEvent
+	// Autoscale enables the SLO-driven replica controller.
+	Autoscale *AutoscaleSpec
+	// Tiers splits the tenants into priority classes with admission control
+	// and preemption.
+	Tiers []TierSpec
 
 	// Heavy marks large-scale scenarios (megascale and friends) that
 	// catalog-wide expansions — the bench suite, "-scenario all", the
@@ -246,7 +287,80 @@ func (s Spec) Validate() error {
 	if s.Heavy && s.GoldenDuration <= 0 {
 		return fmt.Errorf("scenario %s: heavy scenarios must set GoldenDuration (the golden harness cannot replay them at full scale)", s.Name)
 	}
+	for i, fe := range s.FailurePlan {
+		if fe.Start < 0 || fe.End <= fe.Start {
+			return fmt.Errorf("scenario %s: failure %d: bad window fractions [%g, %g)", s.Name, i, fe.Start, fe.End)
+		}
+	}
+	// The engine layer validates the compiled form (autoscale bounds and
+	// thresholds, tier names, replica counts).
+	if err := s.chaosConfig().Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
 	return nil
+}
+
+// Chaotic reports whether the spec's chaos fields can change behaviour:
+// chaotic scenarios get extra table columns and are excluded from
+// SuiteNames (catalog-wide expansions keep their healthy baselines).
+func (s Spec) Chaotic() bool {
+	return s.WithDefaults().chaosConfig().Active()
+}
+
+// chaosConfig compiles the spec's chaos fields for the engine layer,
+// scaling fractional times by the (possibly Quick-shrunk) Duration. Call
+// on a defaulted spec; returns nil when no chaos field is set.
+func (s Spec) chaosConfig() *engine.ChaosConfig {
+	if s.Replicas == 0 && len(s.FailurePlan) == 0 && s.Autoscale == nil && len(s.Tiers) == 0 {
+		return nil
+	}
+	c := &engine.ChaosConfig{Replicas: s.Replicas}
+	for _, fe := range s.FailurePlan {
+		c.Failures = append(c.Failures, engine.FailureWindow{
+			Replica: fe.Replica,
+			Start:   fe.Start * s.Duration,
+			End:     fe.End * s.Duration,
+			HaulKV:  fe.HaulKV,
+		})
+	}
+	if a := s.Autoscale; a != nil {
+		c.Autoscale = &engine.AutoscalePolicy{
+			MinReplicas: a.MinReplicas,
+			MaxReplicas: a.MaxReplicas,
+			Interval:    a.Interval * s.Duration,
+			Lag:         a.Lag * s.Duration,
+			UpBelow:     a.UpBelow,
+			DownAbove:   a.DownAbove,
+			SLO:         s.SLO,
+		}
+	}
+	for _, t := range s.Tiers {
+		c.Tiers = append(c.Tiers, engine.Tier{
+			Name:        t.Name,
+			Tenants:     t.Tenants,
+			Priority:    t.Priority,
+			MaxInflight: t.MaxInflight,
+		})
+	}
+	return c
+}
+
+// tierOf maps a tenant to its tier name under the spec's tier list (first
+// tier listing the tenant, else the catch-all), or "" when untiered.
+func (s Spec) tierOf(tenant string) string {
+	catchAll := ""
+	for _, t := range s.Tiers {
+		if len(t.Tenants) == 0 {
+			catchAll = t.Name
+			continue
+		}
+		for _, tn := range t.Tenants {
+			if tn == tenant {
+				return t.Name
+			}
+		}
+	}
+	return catchAll
 }
 
 // ForGolden returns the spec the golden-trace harness runs: the scenario

@@ -201,3 +201,63 @@ func (s *Simulator) RunUntilIdle() {
 		panic(err)
 	}
 }
+
+// Alive reports whether the handle's event is still pending: scheduled and
+// neither fired nor cancelled. The zero Handle and stale handles (whose
+// event ran, possibly with the struct since recycled) are not alive.
+func (s *Simulator) Alive(h Handle) bool {
+	ev := h.ev
+	return ev != nil && ev.gen == h.gen && ev.index >= 0 && ev.index < len(s.queue) && s.queue[ev.index] == ev
+}
+
+// Group collects the handles of related scheduled events so they can be
+// cancelled together — the primitive instance-failure handling is built on:
+// a serving replica tracks its in-flight iteration events in a Group and a
+// kill event aborts them all. The zero Group is ready to use.
+//
+// Handles of events that have already fired go stale on their own (see
+// Handle), so tracking every event a component schedules is safe; Track
+// prunes dead handles periodically, keeping the group's memory proportional
+// to the live event count rather than the total ever scheduled.
+type Group struct {
+	handles []Handle
+}
+
+// Track registers a handle with the group. When the group has accumulated
+// enough entries, dead handles (fired or cancelled) are pruned in place, so
+// long-running components can track every event they schedule without the
+// group growing with simulation length.
+func (g *Group) Track(s *Simulator, h Handle) {
+	g.handles = append(g.handles, h)
+	if len(g.handles) >= 64 {
+		live := g.handles[:0]
+		for _, old := range g.handles {
+			if s.Alive(old) {
+				live = append(live, old)
+			}
+		}
+		for i := len(live); i < len(g.handles); i++ {
+			g.handles[i] = Handle{}
+		}
+		g.handles = live
+	}
+}
+
+// Len reports the number of tracked handles (live and stale, between
+// prunes).
+func (g *Group) Len() int { return len(g.handles) }
+
+// CancelAll cancels every still-pending tracked event and empties the
+// group, returning how many events were actually cancelled. Stale handles
+// are skipped safely, so CancelAll after events have fired is a no-op for
+// them.
+func (g *Group) CancelAll(s *Simulator) int {
+	n := 0
+	for _, h := range g.handles {
+		if s.Cancel(h) {
+			n++
+		}
+	}
+	g.handles = g.handles[:0]
+	return n
+}

@@ -46,6 +46,7 @@ func RunScenariosSink(names []string, quick bool, seed int64, stream bool, windo
 		eng  string
 	}
 	var pairs []pair
+	chaotic, healthy := 0, 0
 	for _, name := range names {
 		spec, err := scenario.ByName(name)
 		if err != nil {
@@ -53,9 +54,19 @@ func RunScenariosSink(names []string, quick bool, seed int64, stream bool, windo
 		}
 		spec = scenario.Prepare(spec, quick)
 		spec.Seed += seed
+		if spec.Chaotic() {
+			chaotic++
+		} else {
+			healthy++
+		}
 		for _, eng := range spec.Engines {
 			pairs = append(pairs, pair{spec: spec, eng: eng})
 		}
+	}
+	// Chaotic scenarios append extra columns; one merged table cannot
+	// carry both row shapes, so a batch must be all-chaotic or all-not.
+	if chaotic > 0 && healthy > 0 {
+		return nil, nil, fmt.Errorf("sweep: cannot mix chaotic and non-chaotic scenarios in one table (their columns differ); run them separately")
 	}
 	var winMu sync.Mutex
 	winByIdx := make([]*metrics.Table, len(pairs))
@@ -86,7 +97,7 @@ func RunScenariosSink(names []string, quick bool, seed int64, stream bool, windo
 	for _, r := range results {
 		byKey[r.Key] = append(byKey[r.Key], r.Table)
 	}
-	tab := &metrics.Table{Header: scenario.Header}
+	tab := &metrics.Table{Header: scenario.HeaderFor(chaotic > 0)}
 	var windows []ScenarioWindows
 	for i, p := range pairs {
 		k := p.spec.Name + "/" + p.eng

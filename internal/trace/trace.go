@@ -25,6 +25,16 @@ const (
 	KindEviction   Kind = "eviction"
 	KindFinish     Kind = "finish"
 	KindSample     Kind = "sample" // periodic device-state sample
+
+	// Chaos-layer kinds: replica lifecycle, load shedding, and priority
+	// preemption. KindScale's Value is +1 for a scale-up and -1 for a
+	// scale-down decision; KindFailure/KindRecover carry the replica index
+	// in Device.
+	KindFailure Kind = "failure"
+	KindRecover Kind = "recover"
+	KindDrop    Kind = "drop"
+	KindScale   Kind = "scale"
+	KindPreempt Kind = "preempt"
 )
 
 // Event is one timestamped record.

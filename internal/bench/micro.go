@@ -24,6 +24,8 @@ import (
 func RunMicro() []MicroBench {
 	return []MicroBench{
 		microResult("sim/schedule-run-1024", benchSimScheduleRun),
+		microResult("sim/wheel-cascade-64k", benchSimWheelCascade),
+		microResult("sim/cancel-heavy-4096", benchSimCancelHeavy),
 		microResult("dispatch/admission-lp", benchDispatchLP),
 		microResult("dispatch/ideal-attn-lp-128", benchIdealAttn),
 		microResult("lp/solve-cold-20x12", benchLPSolveCold),
@@ -114,6 +116,41 @@ func benchSimScheduleRun(b *testing.B) {
 		s := sim.New()
 		for k := 0; k < 1024; k++ {
 			s.Schedule(float64(k%37), "e", func(*sim.Simulator) {})
+		}
+		s.RunUntilIdle()
+	}
+}
+
+// benchSimWheelCascade drains 65536 events spread over five decades of
+// virtual time per op, so events land on the calendar queue's upper
+// levels and pay the full cascade path down — the worst case for the
+// wheel, where the old heap's O(log n) was its best.
+func benchSimWheelCascade(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		for k := 0; k < 65536; k++ {
+			at := float64(k%97) * float64(1+k%11) * float64(1+k%1009) * 0.001
+			s.Schedule(at, "e", func(*sim.Simulator) {})
+		}
+		s.RunUntilIdle()
+	}
+}
+
+// benchSimCancelHeavy schedules 4096 events and cancels every other one
+// before draining — the chaos layer's pattern (failure windows cancel a
+// replica's whole in-flight group), exercising unlink and the handle
+// generation counters.
+func benchSimCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		hs := make([]sim.Handle, 4096)
+		for k := range hs {
+			hs[k] = s.Schedule(float64(k%613)*0.01, "e", func(*sim.Simulator) {})
+		}
+		for k := 0; k < len(hs); k += 2 {
+			s.Cancel(hs[k])
 		}
 		s.RunUntilIdle()
 	}

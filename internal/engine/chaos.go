@@ -423,22 +423,6 @@ func (ctl *chaosCtl) Observe(r metrics.RequestRecord) {
 // Snapshot implements metrics.Sink via the wrapped sink.
 func (ctl *chaosCtl) Snapshot() metrics.Snapshot { return ctl.inner.Snapshot() }
 
-// victimOrder sorts request ids into eviction order under priority tiers:
-// strictly lower priority first, newest arrival within a priority — so
-// admitting high-tier work preempts the cheapest low-tier victim before
-// touching its own tier's progress.
-func victimOrder(ids []int64, prio map[int64]int, arrivalSeq map[int64]int64) []int64 {
-	out := append([]int64(nil), ids...)
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := prio[out[i]], prio[out[j]]
-		if pi != pj {
-			return pi < pj
-		}
-		return arrivalSeq[out[i]] > arrivalSeq[out[j]]
-	})
-	return out
-}
-
 // waitQueue is the engines' waiting line: a plain FIFO normally, and a
 // strict-priority set of FIFOs (highest priority first) under multi-tier
 // chaos. The plain path delegates to queue untouched, so non-tiered runs

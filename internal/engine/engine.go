@@ -125,12 +125,34 @@ const minEventBudget = 1_000_000
 // requests: n×MaxEventsPerRequest, floored at minEventBudget. Scaling with
 // the trace keeps the guard meaningful for small runs without tripping on
 // million-request traces (the old fixed 20M literal did).
+//
+// Chaos multiplies legitimate work per request — every replica runs its
+// own loop timers, each failure window re-dispatches (and possibly
+// re-prefills) a replica's whole population, autoscaling adds a tick loop
+// plus drain/activate churn, and tier preemption requeues victims — so a
+// chaotic run scales the budget by the fleet width and the configured
+// chaos event classes. A genuine livelock still trips the guard: the
+// multiplier is a constant for a given config, while a livelock generates
+// events without bound.
 func (c Config) MaxSimEvents(n int) uint64 {
 	per := c.MaxEventsPerRequest
 	if per <= 0 {
 		per = DefaultMaxEventsPerRequest
 	}
 	budget := uint64(per) * uint64(n)
+	if chaos := c.Chaos.normalize(); chaos != nil {
+		mult := uint64(chaos.maxReplicas())
+		// Each failure window can force a full re-dispatch/re-prefill pass;
+		// autoscaling and tiering each add their own event class.
+		mult += uint64(len(chaos.Failures))
+		if chaos.Autoscale != nil {
+			mult++
+		}
+		if tiersActive(chaos.Tiers) {
+			mult++
+		}
+		budget *= mult
+	}
 	if budget < minEventBudget {
 		budget = minEventBudget
 	}
@@ -261,7 +283,11 @@ type Engine interface {
 	CacheCapacity() int64
 }
 
-// request is the runtime state of one in-flight request.
+// request is the runtime state of one in-flight request. Requests live in
+// a per-run slab (see scheduleArrivals): one contiguous arena indexed by
+// dense arrival order, so the victim-selection and decode loops chase
+// pointers within one allocation instead of across a heap of individual
+// structs.
 type request struct {
 	wl        workload.Request
 	generated int // tokens produced so far
@@ -277,6 +303,11 @@ type request struct {
 	// prio is the request's tier priority under chaos (higher preempts
 	// lower); 0 outside tiered runs.
 	prio int
+	// seq is the global admission order (fleetCore.admitArrival assigns
+	// it), the key of every "newest first" victim choice. It replaced the
+	// fleet-level map[int64]int64 so the selection loops read a field
+	// instead of hashing.
+	seq int64
 }
 
 func (r *request) contextLen() int { return r.wl.PromptLen + r.generated }
@@ -329,15 +360,75 @@ func (q *queue) pop() *request {
 	return r
 }
 
-// scheduleArrivals feeds the trace into per-instance queues round-robin by
-// least outstanding work and kicks the instance loop.
+// scheduleArrivals feeds the trace into the engines' admission path.
+//
+// Request state comes from slab chunks carved on demand, so the hot loops
+// walk a handful of large allocations instead of one heap object per
+// request; chunks never reallocate, keeping every *request stable for the
+// life of the run.
+//
+// Arrivals feed lazily: instead of pushing all n arrival events into the
+// queue up front (for a million-request trace that alone dominated queue
+// occupancy), each arrival schedules the next, so at most one arrival is
+// pending at a time. Sequence numbers for all n arrivals are reserved up
+// front, which makes the lazy feed produce byte-identical (At, seq) event
+// keys — and therefore identical tie-breaking — to the eager loop it
+// replaced. Traces not sorted by arrival time fall back to the eager loop
+// with the same reserved numbering.
+// requestSlabChunk is the number of request structs carved per slab chunk.
+// Big enough to amortize allocator and GC bookkeeping to noise, small
+// enough that a chunk stays in the small-object allocator (256 × 104B ≈
+// 26KB < 32KB), where freed chunks recycle through size-class spans
+// instead of demanding fresh zeroed pages — the large-object path is
+// dramatically slower on scavenger-happy hosts.
+const requestSlabChunk = 256
+
 func scheduleArrivals(s *sim.Simulator, reqs []workload.Request, admit func(s *sim.Simulator, r *request)) {
-	for _, wr := range reqs {
-		wr := wr
-		s.Schedule(wr.ArrivalAt, "arrival", func(s *sim.Simulator) {
-			admit(s, &request{wl: wr, restartCtx: wr.PromptLen})
-		})
+	n := len(reqs)
+	if n == 0 {
+		return
 	}
+	// Request state is slab-allocated in fixed-size chunks: pointers stay
+	// stable for the run, each chunk amortizes ~1k heap objects into one,
+	// and chunks are only carved as arrivals actually fire (the lazy feeder
+	// below), so a megascale trace never zeroes hundreds of MB up front.
+	var slab []request
+	alloc := func(i int) *request {
+		if len(slab) == 0 {
+			slab = make([]request, requestSlabChunk)
+		}
+		r := &slab[0]
+		slab = slab[1:]
+		*r = request{wl: reqs[i], restartCtx: reqs[i].PromptLen}
+		return r
+	}
+	first := s.ReserveSeq(n)
+	sorted := true
+	for i := 1; i < n; i++ {
+		if reqs[i].ArrivalAt < reqs[i-1].ArrivalAt {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		for i := range reqs {
+			i := i
+			s.ScheduleSeq(first+uint64(i), reqs[i].ArrivalAt, "arrival", func(s *sim.Simulator) {
+				admit(s, alloc(i))
+			})
+		}
+		return
+	}
+	var feed func(i int) func(*sim.Simulator)
+	feed = func(i int) func(*sim.Simulator) {
+		return func(s *sim.Simulator) {
+			if i+1 < n {
+				s.ScheduleSeq(first+uint64(i+1), reqs[i+1].ArrivalAt, "arrival", feed(i+1))
+			}
+			admit(s, alloc(i))
+		}
+	}
+	s.ScheduleSeq(first, reqs[0].ArrivalAt, "arrival", feed(0))
 }
 
 // newRunSink resolves a run's measurement sink: the injected Config.Sink,
@@ -447,10 +538,18 @@ func sortedKeys(m map[int]bool) []int {
 	return out
 }
 
-// newestFirst sorts request IDs by arrival sequence descending given a
-// lookup of arrival order.
-func newestFirst(ids []int64, arrivalSeq map[int64]int64) []int64 {
+// newestFirst sorts request IDs by arrival sequence descending, reading
+// each request's seq through the instance's byID index. IDs without a
+// live request sort oldest, mirroring the zero-value reads the old
+// fleet-level sequence map gave them.
+func newestFirst(ids []int64, byID map[int64]*request) []int64 {
 	out := append([]int64(nil), ids...)
-	sort.Slice(out, func(i, j int) bool { return arrivalSeq[out[i]] > arrivalSeq[out[j]] })
+	seqOf := func(id int64) int64 {
+		if r, ok := byID[id]; ok {
+			return r.seq
+		}
+		return 0
+	}
+	sort.Slice(out, func(i, j int) bool { return seqOf(out[i]) > seqOf(out[j]) })
 	return out
 }

@@ -36,10 +36,9 @@ type fleetCore struct {
 	ctl  *chaosCtl
 	sink metrics.Sink
 
-	// seq numbers arrivals globally; victim selection ("newest first")
-	// compares within one replica, where the global order agrees with any
-	// per-replica numbering.
-	seq     map[int64]int64
+	// nextSeq numbers arrivals globally (stamped onto request.seq); victim
+	// selection ("newest first") compares within one replica, where the
+	// global order agrees with any per-replica numbering.
 	nextSeq int64
 	// inSystem counts admitted requests not yet finished or dropped —
 	// the Queued term of the conservation ledger.
@@ -53,14 +52,14 @@ type fleetCore struct {
 }
 
 func newFleetCore(cfg Config, res *Result, ctl *chaosCtl, sink metrics.Sink) fleetCore {
-	return fleetCore{cfg: cfg, res: res, ctl: ctl, sink: sink, seq: map[int64]int64{}}
+	return fleetCore{cfg: cfg, res: res, ctl: ctl, sink: sink}
 }
 
 // admitArrival runs the shared arrival bookkeeping: sequence number,
 // arrival trace, tier admission. A false return means the request was
 // dropped at admission.
 func (c *fleetCore) admitArrival(s *sim.Simulator, r *request) bool {
-	c.seq[r.wl.ID] = c.nextSeq
+	r.seq = c.nextSeq
 	c.nextSeq++
 	c.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindArrival, Request: r.wl.ID})
 	if !c.ctl.admit(s, r) {
@@ -238,13 +237,13 @@ func (f *staticFleet) deactivate(s *sim.Simulator, rt *staticRuntime, haul bool,
 	for _, r := range rt.running {
 		resident[r.wl.ID] = true
 	}
-	ids := make([]int64, 0, len(rt.byID))
-	for id := range rt.byID {
-		ids = append(ids, id)
+	victims := make([]*request, 0, len(rt.byID))
+	for _, r := range rt.byID {
+		victims = append(victims, r)
 	}
-	sort.Slice(ids, func(i, j int) bool { return f.seq[ids[i]] < f.seq[ids[j]] })
-	for _, id := range ids {
-		r := rt.byID[id]
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, r := range victims {
+		id := r.wl.ID
 		delete(rt.byID, id)
 		r.evicted = true
 		r.restartCtx = r.contextLen()

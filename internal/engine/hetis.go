@@ -153,14 +153,16 @@ type hetisInstance struct {
 	waiting *waitQueue
 	running []*request
 	byID    map[int64]*request
-	// arrivalSeq aliases the fleet's global sequence map; within one
-	// instance the global order agrees with per-instance numbering.
-	arrivalSeq map[int64]int64
-	busy       bool
+	busy    bool
 	// decodeSteps counts decode iterations for the rebalance cadence.
 	decodeSteps int
 	// lastMig records the decode step at which a request last migrated;
-	// recently migrated requests are frozen against re-migration.
+	// recently migrated requests are frozen against re-migration. It stays
+	// a per-instance map (unlike the hot seq field on request) because the
+	// cooldown is a property of the (instance, request) pair — it must
+	// survive an evict/requeue on the same instance yet not follow the
+	// request to a survivor after a failure — and it is touched only on
+	// migrations, far off the decode fast path.
 	lastMig map[int64]int
 	// pendingDelay accumulates blocking-migration time charged to the
 	// next iteration.
@@ -361,7 +363,6 @@ func newHetisFleet(h *Hetis, res *Result, ctl *chaosCtl, sink metrics.Sink, chao
 			return nil, err
 		}
 		inst.fleet = f
-		inst.arrivalSeq = f.seq
 		inst.waiting = newWaitQueue(ctl.tiered())
 		inst.state = replicaParked
 		if i < width {
@@ -419,13 +420,13 @@ func (f *hetisFleet) deactivate(s *sim.Simulator, inst *hetisInstance, haul bool
 	for _, r := range inst.running {
 		resident[r.wl.ID] = true
 	}
-	ids := make([]int64, 0, len(inst.byID))
-	for id := range inst.byID {
-		ids = append(ids, id)
+	victims := make([]*request, 0, len(inst.byID))
+	for _, r := range inst.byID {
+		victims = append(victims, r)
 	}
-	sort.Slice(ids, func(i, j int) bool { return f.seq[ids[i]] < f.seq[ids[j]] })
-	for _, id := range ids {
-		r := inst.byID[id]
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, r := range victims {
+		id := r.wl.ID
 		delete(inst.byID, id)
 		delete(inst.lastMig, id)
 		inst.kvFree(id)
@@ -898,7 +899,7 @@ func (inst *hetisInstance) handleMemoryPressure(s *sim.Simulator, w int) {
 		for _, rid := range inst.kv[w].Requests() {
 			ids = append(ids, int64(rid))
 		}
-		for _, id := range newestFirst(ids, inst.arrivalSeq) {
+		for _, id := range newestFirst(ids, inst.byID) {
 			if inst.disp.CacheBytes(w) <= inst.disp.Workers()[w].CapacityBytes {
 				return
 			}
@@ -919,8 +920,8 @@ func (inst *hetisInstance) handleMemoryPressure(s *sim.Simulator, w int) {
 		if cfg.DisableRedispatch {
 			var seq int64 = -1
 			for _, r := range inst.running {
-				if inst.arrivalSeq[r.wl.ID] > seq {
-					seq = inst.arrivalSeq[r.wl.ID]
+				if r.seq > seq {
+					seq = r.seq
 					victim = r.wl.ID
 				}
 			}
@@ -990,7 +991,7 @@ func (inst *hetisInstance) preemptFor(s *sim.Simulator, r *request) bool {
 			continue
 		}
 		b := inst.running[idx]
-		if v.prio < b.prio || (v.prio == b.prio && inst.arrivalSeq[v.wl.ID] > inst.arrivalSeq[b.wl.ID]) {
+		if v.prio < b.prio || (v.prio == b.prio && v.seq > b.seq) {
 			idx = i
 		}
 	}

@@ -171,7 +171,7 @@ func (rt *staticRuntime) preemptFor(s *sim.Simulator, r *request, ctx int64) {
 				continue
 			}
 			b := rt.running[idx]
-			if v.prio < b.prio || (v.prio == b.prio && f.seq[v.wl.ID] > f.seq[b.wl.ID]) {
+			if v.prio < b.prio || (v.prio == b.prio && v.seq > b.seq) {
 				idx = i
 			}
 		}
@@ -212,9 +212,8 @@ func (rt *staticRuntime) tryDecode(s *sim.Simulator) bool {
 // newest (LIFO) normally; under multi-tier chaos, lowest priority first
 // and newest within a priority.
 func (rt *staticRuntime) victimIdx() int {
-	f := rt.fleet
 	best := 0
-	if f.ctl.tiered() {
+	if rt.fleet.ctl.tiered() {
 		for i, r := range rt.running {
 			b := rt.running[best]
 			if r.prio != b.prio {
@@ -223,14 +222,14 @@ func (rt *staticRuntime) victimIdx() int {
 				}
 				continue
 			}
-			if f.seq[r.wl.ID] > f.seq[b.wl.ID] {
+			if r.seq > b.seq {
 				best = i
 			}
 		}
 		return best
 	}
 	for i, r := range rt.running {
-		if f.seq[r.wl.ID] > f.seq[rt.running[best].wl.ID] {
+		if r.seq > rt.running[best].seq {
 			best = i
 		}
 	}
@@ -238,7 +237,7 @@ func (rt *staticRuntime) victimIdx() int {
 }
 
 func (rt *staticRuntime) afterDecode(s *sim.Simulator) {
-	var still []*request
+	still := rt.running[:0]
 	for _, r := range rt.running {
 		r.generated++
 		rt.used++

@@ -218,7 +218,7 @@ func (f *splitwiseFleet) deactivate(s *sim.Simulator, rt *splitwiseRuntime, haul
 	for rt.prefillQ.len() > 0 {
 		victims = append(victims, rt.prefillQ.pop())
 	}
-	sort.Slice(victims, func(i, j int) bool { return f.seq[victims[i].wl.ID] < f.seq[victims[j].wl.ID] })
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
 	for _, r := range victims {
 		r.evicted = true
 		r.restartCtx = r.contextLen()
@@ -532,7 +532,7 @@ func (rt *splitwiseRuntime) preemptFor(s *sim.Simulator, r *request, ctx int64) 
 				continue
 			}
 			b := rt.running[idx]
-			if v.prio < b.prio || (v.prio == b.prio && f.seq[v.wl.ID] > f.seq[b.wl.ID]) {
+			if v.prio < b.prio || (v.prio == b.prio && v.seq > b.seq) {
 				idx = i
 			}
 		}
@@ -555,9 +555,8 @@ func (rt *splitwiseRuntime) preemptFor(s *sim.Simulator, r *request, ctx int64) 
 // newest (LIFO) normally; under multi-tier chaos, lowest priority first
 // and newest within a priority.
 func (rt *splitwiseRuntime) victimIdx() int {
-	f := rt.fleet
 	best := 0
-	if f.ctl.tiered() {
+	if rt.fleet.ctl.tiered() {
 		for i, r := range rt.running {
 			b := rt.running[best]
 			if r.prio != b.prio {
@@ -566,14 +565,14 @@ func (rt *splitwiseRuntime) victimIdx() int {
 				}
 				continue
 			}
-			if f.seq[r.wl.ID] > f.seq[b.wl.ID] {
+			if r.seq > b.seq {
 				best = i
 			}
 		}
 		return best
 	}
 	for i, r := range rt.running {
-		if f.seq[r.wl.ID] > f.seq[rt.running[best].wl.ID] {
+		if r.seq > rt.running[best].seq {
 			best = i
 		}
 	}
@@ -582,7 +581,7 @@ func (rt *splitwiseRuntime) victimIdx() int {
 
 func (rt *splitwiseRuntime) afterDecode(s *sim.Simulator) {
 	dec := rt.sw.decode
-	var still []*request
+	still := rt.running[:0]
 	for _, r := range rt.running {
 		r.generated++
 		rt.usedDecode++

@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+// TestGroupTrackManyLiveHandles is the regression test for the fixed-64
+// prune threshold: a group holding thousands of live handles (a chaos
+// fleet's worth of in-flight work) used to rescan the whole slice on
+// every Track — O(n²). With the adaptive threshold the number of prune
+// passes grows logarithmically, so each handle is rescanned O(1) times.
+func TestGroupTrackManyLiveHandles(t *testing.T) {
+	s := New()
+	var g Group
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		// Far-future events: every tracked handle stays live.
+		g.Track(s, s.Schedule(1e6+float64(i), "live", func(*Simulator) {}))
+	}
+	if g.Len() != n {
+		t.Fatalf("live handles lost: Len=%d, want %d", g.Len(), n)
+	}
+	// Doubling from 64 reaches 10k in ~8 passes; 15 leaves headroom while
+	// still failing loudly if the threshold regresses to fixed (which
+	// needs ~10k-64 passes).
+	if g.prunes > 15 {
+		t.Fatalf("prune passes = %d for %d live handles; adaptive threshold regressed", g.prunes, n)
+	}
+	if got := g.CancelAll(s); got != n {
+		t.Fatalf("CancelAll cancelled %d, want %d", got, n)
+	}
+}
+
+// TestGroupPruneThresholdShrinks pins the other half of the adaptation:
+// after a prune finds few live handles the threshold falls back toward
+// the 64 floor, so a group that was briefly large does not stop pruning.
+func TestGroupPruneThresholdShrinks(t *testing.T) {
+	s := New()
+	var g Group
+	// Grow the threshold with 1000 live handles.
+	var hs []Handle
+	for i := 0; i < 1000; i++ {
+		h := s.Schedule(1e6, "live", func(*Simulator) {})
+		hs = append(hs, h)
+		g.Track(s, h)
+	}
+	for _, h := range hs {
+		s.Cancel(h)
+	}
+	// Track dead handles until the next prune; it must find zero live and
+	// reset the threshold to the floor.
+	before := g.prunes
+	for i := 0; i < 3000 && g.prunes == before; i++ {
+		g.Track(s, Handle{})
+	}
+	if g.prunes == before {
+		t.Fatal("no prune happened while tracking dead handles")
+	}
+	if g.pruneAt != 64 {
+		t.Fatalf("pruneAt=%d after an all-dead prune, want 64", g.pruneAt)
+	}
+}

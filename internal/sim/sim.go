@@ -1,13 +1,14 @@
 // Package sim provides a minimal discrete-event simulation kernel used by
 // the serving engines. Time is a float64 number of seconds since simulation
-// start. Events are scheduled on a binary heap and executed in timestamp
-// order; ties are broken by insertion order so runs are fully deterministic.
+// start. Events are scheduled on a hierarchical calendar queue (a time
+// wheel) and executed in timestamp order; ties are broken by insertion
+// order so runs are fully deterministic.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Event is a callback scheduled to run at a particular virtual time.
@@ -26,9 +27,12 @@ type Event struct {
 	// schedule follow-up events.
 	Fn func(s *Simulator)
 
-	seq   uint64 // insertion order, for deterministic tie-breaking
-	index int    // heap index
-	gen   uint64 // bumped whenever the struct retires, invalidating handles
+	seq  uint64 // insertion order, for deterministic tie-breaking
+	gen  uint64 // bumped whenever the struct retires, invalidating handles
+	tick uint64 // quantized At, the wheel bucket key
+	pos  int32  // index within its bucket slice
+	lvl  int16  // wheel level, or -1 when not queued
+	slot uint16 // slot within the level
 }
 
 // Handle identifies one scheduled occurrence of a (possibly recycled)
@@ -39,44 +43,175 @@ type Handle struct {
 	gen uint64
 }
 
-// eventQueue implements heap.Interface ordered by (At, seq).
-type eventQueue []*Event
+// Wheel geometry. Eleven levels of 64 slots (6 bits each) cover the full
+// 62-bit tick range; at 4096 ticks per simulated second a level-0 slot is
+// ~244µs wide, so the dense near-future events these traces produce land
+// in level 0 and schedule/pop in O(1).
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11
+	// tickScale is a power of two, so At*tickScale is exact (no rounding)
+	// and tick order agrees with At order.
+	tickScale = 4096.0
+	maxTick   = uint64(1)<<62 - 1
+)
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
+// tickOf quantizes a timestamp to its wheel bucket key. Times past the
+// representable range (including +Inf) clamp to the last bucket; ordering
+// inside a bucket is by exact (At, seq), so clamping never reorders.
+func tickOf(at float64) uint64 {
+	t := at * tickScale
+	if t >= float64(maxTick) {
+		return maxTick
 	}
-	return q[i].seq < q[j].seq
+	return uint64(t)
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// calendarQueue is a hierarchical time wheel with absolute slot indexing.
+//
+// Invariants:
+//   - every pending event has tick >= cur (insert below cur rebases);
+//   - an event sits at the level of its highest tick digit differing from
+//     cur, so for any level >= 1 the slot holding cur's own digit is empty
+//     and occupied slots are strictly above it — bucket order is tick
+//     order with no straddling;
+//   - min() cascades the lowest occupied bucket of levels >= 1 down the
+//     wheel until the minimum lives in level 0, advancing cur only to
+//     bucket bases that are <= the minimum pending tick.
+//
+// Ticks quantize time, so one bucket may hold events with different
+// timestamps; min() selects by exact (At, seq) inside the bucket, which
+// keeps pop order byte-identical to the old binary heap's.
+type calendarQueue struct {
+	cur uint64
+	n   int
+	occ [wheelLevels]uint64
+	buk [wheelLevels][wheelSlots][]*Event
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// levelOf places tick t relative to the cursor: the level of the highest
+// differing 6-bit digit, or 0 when t equals the cursor.
+func (q *calendarQueue) levelOf(t uint64) int {
+	x := t ^ q.cur
+	if x == 0 {
+		return 0
+	}
+	return (bits.Len64(x) - 1) / wheelBits
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+func (q *calendarQueue) insert(ev *Event) {
+	t := ev.tick
+	if t < q.cur {
+		// Only reachable when a run stopped at its horizon (the cursor may
+		// sit at the far-future minimum) and the caller then scheduled an
+		// earlier event. Rare, so an O(n) re-bucketing keeps the hot path
+		// branch-free.
+		q.rebase(t)
+	}
+	lvl := q.levelOf(t)
+	slot := (t >> (uint(lvl) * wheelBits)) & wheelMask
+	b := q.buk[lvl][slot]
+	ev.lvl = int16(lvl)
+	ev.slot = uint16(slot)
+	ev.pos = int32(len(b))
+	q.buk[lvl][slot] = append(b, ev)
+	q.occ[lvl] |= 1 << slot
+	q.n++
+}
+
+// unlink removes a pending event (swap-remove within its bucket). It never
+// moves the cursor, so a peeked-but-not-fired minimum — the horizon case —
+// leaves the queue consistent.
+func (q *calendarQueue) unlink(ev *Event) {
+	lvl, slot := int(ev.lvl), int(ev.slot)
+	b := q.buk[lvl][slot]
+	last := len(b) - 1
+	if int(ev.pos) != last {
+		moved := b[last]
+		b[ev.pos] = moved
+		moved.pos = ev.pos
+	}
+	b[last] = nil
+	q.buk[lvl][slot] = b[:last]
+	if last == 0 {
+		q.occ[lvl] &^= 1 << slot
+	}
+	ev.lvl = -1
+	q.n--
+}
+
+// rebase re-buckets every pending event around a new, lower cursor.
+func (q *calendarQueue) rebase(newCur uint64) {
+	var pending []*Event
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		for occ := q.occ[lvl]; occ != 0; occ &= occ - 1 {
+			slot := bits.TrailingZeros64(occ)
+			b := q.buk[lvl][slot]
+			pending = append(pending, b...)
+			for i := range b {
+				b[i] = nil
+			}
+			q.buk[lvl][slot] = b[:0]
+		}
+		q.occ[lvl] = 0
+	}
+	q.cur = newCur
+	q.n = 0
+	for _, ev := range pending {
+		q.insert(ev)
+	}
+}
+
+// min returns the pending event with the smallest (At, seq) without
+// removing it, cascading higher-level buckets down the wheel as needed.
+// It returns nil when the queue is empty.
+func (q *calendarQueue) min() *Event {
+	if q.n == 0 {
+		return nil
+	}
+	for {
+		lvl := 0
+		for lvl < wheelLevels && q.occ[lvl] == 0 {
+			lvl++
+		}
+		slot := bits.TrailingZeros64(q.occ[lvl])
+		if lvl == 0 {
+			b := q.buk[0][slot]
+			best := b[0]
+			for _, ev := range b[1:] {
+				if ev.At < best.At || (ev.At == best.At && ev.seq < best.seq) {
+					best = ev
+				}
+			}
+			return best
+		}
+		// Cascade: drain the lowest occupied bucket and re-level its events
+		// around the bucket's base tick. The base is <= every pending tick
+		// (all other occupied slots are above this one), so advancing the
+		// cursor to it preserves the tick >= cur invariant.
+		shift := uint(lvl) * wheelBits
+		base := q.cur&^(uint64(1)<<(shift+wheelBits)-1) | uint64(slot)<<shift
+		b := q.buk[lvl][slot]
+		// Keep the bucket's capacity for future inserts; the drained events
+		// all re-level strictly below lvl (their high digits now match the
+		// cursor), so insert never appends to the slice being drained.
+		q.buk[lvl][slot] = b[:0]
+		q.occ[lvl] &^= 1 << slot
+		q.cur = base
+		q.n -= len(b)
+		for i, ev := range b {
+			q.insert(ev)
+			b[i] = nil
+		}
+	}
 }
 
 // Simulator owns the virtual clock and the pending event queue.
 type Simulator struct {
 	now     float64
-	queue   eventQueue
+	queue   calendarQueue
 	nextSeq uint64
 	stopped bool
 
@@ -120,7 +255,42 @@ func (s *Simulator) Schedule(at float64, name string, fn func(s *Simulator)) Han
 		ev = &Event{At: at, Name: name, Fn: fn, seq: s.nextSeq}
 	}
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
+	ev.tick = tickOf(at)
+	s.queue.insert(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// ReserveSeq pre-allocates n insertion-order slots and returns the first.
+// Callers that know a batch of future events up front (the engines' lazy
+// arrival feeders) use it to schedule those events later — interleaved
+// with other work — while keeping the exact tie-break order an eager
+// up-front scheduling loop would have produced. ScheduleSeq consumes the
+// reserved numbers.
+func (s *Simulator) ReserveSeq(n int) uint64 {
+	first := s.nextSeq
+	s.nextSeq += uint64(n)
+	return first
+}
+
+// ScheduleSeq is Schedule with an explicit insertion-order number obtained
+// from ReserveSeq. The timestamp rules are identical to Schedule's.
+func (s *Simulator) ScheduleSeq(seq uint64, at float64, name string, fn func(s *Simulator)) Handle {
+	if math.IsNaN(at) {
+		panic(fmt.Sprintf("sim: NaN schedule time for event %q", name))
+	}
+	if at < s.now {
+		at = s.now
+	}
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free = s.free[:n-1]
+		*ev = Event{At: at, Name: name, Fn: fn, seq: seq, gen: ev.gen}
+	} else {
+		ev = &Event{At: at, Name: name, Fn: fn, seq: seq}
+	}
+	ev.tick = tickOf(at)
+	s.queue.insert(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
 
@@ -140,10 +310,10 @@ func (s *Simulator) After(delay float64, name string, fn func(s *Simulator)) Han
 // ones.
 func (s *Simulator) Cancel(h Handle) bool {
 	ev := h.ev
-	if ev == nil || ev.gen != h.gen || ev.index < 0 || ev.index >= len(s.queue) || s.queue[ev.index] != ev {
+	if ev == nil || ev.gen != h.gen || ev.lvl < 0 {
 		return false
 	}
-	heap.Remove(&s.queue, ev.index)
+	s.queue.unlink(ev)
 	ev.gen++ // retire: outstanding handles to this occurrence go stale
 	ev.Fn = nil
 	s.free = append(s.free, ev)
@@ -155,7 +325,7 @@ func (s *Simulator) Cancel(h Handle) bool {
 func (s *Simulator) Stop() { s.stopped = true }
 
 // Pending reports how many events remain in the queue.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return s.queue.n }
 
 // Run executes events in time order until the queue drains, Stop is called,
 // or the optional horizon (seconds; <=0 means unbounded) is passed. Events
@@ -169,26 +339,41 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // when one finishes sooner.
 func (s *Simulator) Run(horizon float64) error {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		if horizon > 0 && s.queue[0].At > horizon {
+	for s.queue.n > 0 && !s.stopped {
+		ev := s.queue.min()
+		if horizon > 0 && ev.At > horizon {
+			// Peeked, not popped: the event stays queued for a later Run.
 			s.now = horizon
 			return nil
 		}
-		ev := heap.Pop(&s.queue).(*Event)
 		if ev.At < s.now {
 			return fmt.Errorf("sim: time went backwards: event %q at %g < now %g", ev.Name, ev.At, s.now)
 		}
 		s.now = ev.At
-		s.Executed++
-		if s.MaxEvents > 0 && s.Executed > s.MaxEvents {
-			return fmt.Errorf("sim: exceeded MaxEvents=%d (runaway simulation?)", s.MaxEvents)
+		// Dispatch every event sharing this timestamp in one batch: the
+		// horizon and monotonicity checks above hold for the whole batch,
+		// so the inner loop skips them.
+		at := ev.At
+		for {
+			s.queue.unlink(ev)
+			s.Executed++
+			if s.MaxEvents > 0 && s.Executed > s.MaxEvents {
+				return fmt.Errorf("sim: exceeded MaxEvents=%d (runaway simulation?)", s.MaxEvents)
+			}
+			ev.Fn(s)
+			ev.Fn = nil // drop the closure before pooling
+			ev.gen++    // retire: handles to the fired occurrence go stale
+			s.free = append(s.free, ev)
+			if s.stopped || s.queue.n == 0 {
+				break
+			}
+			ev = s.queue.min()
+			if ev.At != at {
+				break
+			}
 		}
-		ev.Fn(s)
-		ev.Fn = nil // drop the closure before pooling
-		ev.gen++    // retire: handles to the fired occurrence go stale
-		s.free = append(s.free, ev)
 	}
-	if horizon > 0 && !s.stopped && len(s.queue) == 0 && s.now < horizon {
+	if horizon > 0 && !s.stopped && s.queue.n == 0 && s.now < horizon {
 		s.now = horizon
 	}
 	return nil
@@ -207,7 +392,7 @@ func (s *Simulator) RunUntilIdle() {
 // event ran, possibly with the struct since recycled) are not alive.
 func (s *Simulator) Alive(h Handle) bool {
 	ev := h.ev
-	return ev != nil && ev.gen == h.gen && ev.index >= 0 && ev.index < len(s.queue) && s.queue[ev.index] == ev
+	return ev != nil && ev.gen == h.gen && ev.lvl >= 0
 }
 
 // Group collects the handles of related scheduled events so they can be
@@ -221,25 +406,44 @@ func (s *Simulator) Alive(h Handle) bool {
 // to the live event count rather than the total ever scheduled.
 type Group struct {
 	handles []Handle
+	// pruneAt is the adaptive prune threshold: twice the live count found
+	// by the previous prune, floored at 64. A fixed threshold would make a
+	// group holding more than that many live handles rescan the whole
+	// slice on every Track — O(n²) across n Tracks.
+	pruneAt int
+	// prunes counts prune passes, for regression tests on the amortized
+	// cost.
+	prunes int
 }
 
 // Track registers a handle with the group. When the group has accumulated
 // enough entries, dead handles (fired or cancelled) are pruned in place, so
 // long-running components can track every event they schedule without the
-// group growing with simulation length.
+// group growing with simulation length. The threshold doubles with the
+// surviving live count, so each handle is rescanned O(1) times on average
+// no matter how many stay live.
 func (g *Group) Track(s *Simulator, h Handle) {
 	g.handles = append(g.handles, h)
-	if len(g.handles) >= 64 {
-		live := g.handles[:0]
-		for _, old := range g.handles {
-			if s.Alive(old) {
-				live = append(live, old)
-			}
+	if g.pruneAt < 64 {
+		g.pruneAt = 64
+	}
+	if len(g.handles) < g.pruneAt {
+		return
+	}
+	g.prunes++
+	live := g.handles[:0]
+	for _, old := range g.handles {
+		if s.Alive(old) {
+			live = append(live, old)
 		}
-		for i := len(live); i < len(g.handles); i++ {
-			g.handles[i] = Handle{}
-		}
-		g.handles = live
+	}
+	for i := len(live); i < len(g.handles); i++ {
+		g.handles[i] = Handle{}
+	}
+	g.handles = live
+	g.pruneAt = 2 * len(live)
+	if g.pruneAt < 64 {
+		g.pruneAt = 64
 	}
 }
 
@@ -259,5 +463,6 @@ func (g *Group) CancelAll(s *Simulator) int {
 		}
 	}
 	g.handles = g.handles[:0]
+	g.pruneAt = 0
 	return n
 }

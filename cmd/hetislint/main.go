@@ -1,0 +1,144 @@
+// Command hetislint runs hetis' determinism-and-invariant lint suite
+// (internal/analysis) over the module: unordered map iteration in
+// deterministic packages, wall-clock/global-rand/env entropy in sim
+// paths, sim.Handle lifetime misuse, and metrics-sink / trace-log
+// discipline, plus an audit of the //hetis: suppression directives
+// themselves.
+//
+// Usage:
+//
+//	hetislint ./...                  # whole module (the CI gate)
+//	hetislint ./internal/engine      # one package
+//	hetislint -list                  # describe the analyzers
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings.
+// The analyzers mirror golang.org/x/tools/go/analysis; if x/tools ever
+// becomes a dependency they can be rehosted on it verbatim and driven by
+// `go vet -vettool=$(which hetislint)` — see doc/ANALYSIS.md.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hetis/internal/analysis"
+)
+
+// errParse marks flag-parse failures the FlagSet already reported.
+var errParse = errors.New("flag parse error")
+
+// errFindings marks a clean run that found problems: reported already,
+// exit 1 without the "hetislint:" banner.
+var errFindings = errors.New("findings reported")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		// -h prints usage and succeeds, matching flag.ExitOnError.
+	case errors.Is(err, errParse):
+		os.Exit(2) // the FlagSet already reported the mistake
+	case errors.Is(err, errFindings):
+		os.Exit(1) // the diagnostics are the report
+	default:
+		fmt.Fprintf(os.Stderr, "hetislint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hetislint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%s (suppress: //hetis:%s <reason>)\n    %s\n", a.Name, a.Directive, a.Doc)
+		}
+		return nil
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	resolved := make([]string, len(patterns))
+	for i, p := range patterns {
+		resolved[i], err = resolvePattern(loader, root, cwd, p)
+		if err != nil {
+			return err
+		}
+	}
+
+	pkgs, err := loader.Load(resolved...)
+	if err != nil {
+		return err
+	}
+	diags := analysis.RunSuite(suite, pkgs)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hetislint: %d finding(s)\n", len(diags))
+		return errFindings
+	}
+	return nil
+}
+
+// resolvePattern turns a ./-relative pattern into a module import path
+// (keeping any trailing /...); bare patterns pass through as import
+// paths.
+func resolvePattern(loader *analysis.Loader, root, cwd, pat string) (string, error) {
+	if !strings.HasPrefix(pat, "./") && pat != "." {
+		return pat, nil
+	}
+	base, rec := pat, false
+	if b, ok := strings.CutSuffix(pat, "/..."); ok {
+		base, rec = b, true
+	}
+	rel, err := filepath.Rel(root, filepath.Join(cwd, base))
+	if err != nil {
+		return "", err
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("pattern %q escapes the module rooted at %s", pat, root)
+	}
+	path := loader.ModulePath
+	if rel != "." {
+		path += "/" + filepath.ToSlash(rel)
+	}
+	if rec {
+		path += "/..."
+	}
+	return path, nil
+}

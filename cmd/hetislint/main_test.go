@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListDescribesEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := stdout.String()
+	for _, name := range []string{"maprange", "noglobalentropy", "handlelifetime", "sinkdiscipline"} {
+		if !strings.Contains(out, name+" (suppress: //hetis:") {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestBadFlagIsParseError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr)
+	if !errors.Is(err, errParse) {
+		t.Fatalf("err = %v, want errParse", err)
+	}
+}
+
+func TestCleanPackageExitsQuietly(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// The driver resolves ./ patterns against the test's working
+	// directory, so this lints just cmd/hetislint itself.
+	if err := run([]string{"./..."}, &stdout, &stderr); err != nil {
+		t.Fatalf("run ./...: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote diagnostics:\n%s", stdout.String())
+	}
+}
+
+func TestFindingsFailWithDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "internal", "engine", "bad.go"), `package engine
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"./..."}, &stdout, &stderr)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("err = %v, want errFindings\nstdout:\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[maprange]") || !strings.Contains(out, "bad.go:5") {
+		t.Errorf("diagnostics missing the maprange finding at bad.go:5:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "1 finding(s)") {
+		t.Errorf("stderr missing the findings summary:\n%s", stderr.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

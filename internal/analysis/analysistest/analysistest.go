@@ -1,0 +1,157 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against expectations embedded in the fixtures — a
+// minimal, offline mirror of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture packages live under <testdata>/src/<import-path>/ and may
+// import each other and the standard library. An expected diagnostic is a
+// trailing comment on the line it fires:
+//
+//	for k := range m { // want `iterates over a map`
+//
+// Each quoted or backquoted string after "want" is a regexp that must
+// match one diagnostic reported on that line; diagnostics without a
+// matching want, and wants without a matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hetis/internal/analysis"
+)
+
+// TestData returns the absolute path of the caller's testdata directory.
+func TestData() string {
+	td, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := os.Stat(filepath.Join(td, "src")); err != nil {
+		panic("analysistest: no testdata/src directory: " + err.Error())
+	}
+	return td
+}
+
+// Run applies one analyzer to the fixture packages named by the import
+// paths and checks its diagnostics against the // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	runWith(t, testdata, paths, func(pkgs []*analysis.Package) []analysis.Diagnostic {
+		return analysis.RunAnalyzer(a, pkgs)
+	})
+}
+
+// RunSuite applies a whole suite — including the directive audit
+// (unknown keywords, unused suppressions) that per-analyzer runs skip —
+// to the fixture packages.
+func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, paths ...string) {
+	t.Helper()
+	runWith(t, testdata, paths, func(pkgs []*analysis.Package) []analysis.Diagnostic {
+		return analysis.RunSuite(analyzers, pkgs)
+	})
+}
+
+func runWith(t *testing.T, testdata string, paths []string, run func([]*analysis.Package) []analysis.Diagnostic) {
+	t.Helper()
+	moduleRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.FixtureRoot = filepath.Join(testdata, "src")
+	pkgs, err := loader.Load(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkgs)
+	for _, d := range run(pkgs) {
+		if !claimWant(wants, d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// want is one expected diagnostic, parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantStrings pulls the Go string literals out of a // want comment.
+var wantStrings = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					// Block form `/* want ... */` lets a fixture expect a
+					// diagnostic on a line whose trailing comment is already
+					// taken (e.g. a //hetis: directive under audit).
+					if inner, isBlock := strings.CutPrefix(text, "/*"); isBlock {
+						text = "// " + strings.TrimSpace(strings.TrimSuffix(inner, "*/"))
+					}
+					rest, ok := strings.CutPrefix(text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					lits := wantStrings.FindAllString(rest, -1)
+					if len(lits) == 0 {
+						t.Errorf("%s:%d: malformed want comment (no string literal): %s", pos.Filename, pos.Line, c.Text)
+						continue
+					}
+					for _, lit := range lits {
+						pattern, err := strconv.Unquote(lit)
+						if err != nil {
+							t.Errorf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+							continue
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+							continue
+						}
+						wants = append(wants, &want{
+							file:    pos.Filename,
+							line:    pos.Line,
+							pattern: pattern,
+							re:      re,
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claimWant marks the first unmatched want on the diagnostic's line whose
+// regexp matches, and reports whether one was found.
+func claimWant(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hetis/internal/analysis"
+	"hetis/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over a positive fixture (a deterministic package
+// path with violations, suppressed sites, and missing-justification
+// directives) plus an out-of-scope package that must stay silent.
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MapRange,
+		"maprange/internal/engine", "maprange/util")
+}
+
+func TestNoGlobalEntropy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NoGlobalEntropy,
+		"entropy/internal/dispatch", "entropy/cmdutil")
+}
+
+func TestHandleLifetime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.HandleLifetime,
+		"handle/internal/sim", "handle/internal/engine", "handle/util")
+}
+
+func TestSinkDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.SinkDiscipline,
+		"sink/internal/metrics", "sink/internal/trace", "sink/internal/engine")
+}
+
+// TestDirectiveAudit exercises the suite-level hygiene checks that
+// per-analyzer runs skip: unknown //hetis: keywords and justified
+// suppressions that no longer excuse any finding.
+func TestDirectiveAudit(t *testing.T) {
+	analysistest.RunSuite(t, analysistest.TestData(), analysis.Suite(),
+		"suite/internal/engine")
+}

@@ -1,0 +1,83 @@
+// Suppression directives: `//hetis:<keyword> <justification>` on a
+// flagged line (trailing) or on the line immediately above (leading)
+// excuses one analyzer's findings on that line. The justification is part
+// of the contract — it must say why the invariant cannot be violated at
+// this site (e.g. why iteration order does not escape into results), and
+// an empty justification reports instead of suppressing. RunSuite audits
+// the directives themselves: unknown keywords and suppressions that no
+// longer excuse anything are findings.
+
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+const directivePrefix = "//hetis:"
+
+// suppression is one parsed //hetis: comment.
+type suppression struct {
+	pos       token.Position
+	directive string
+	reason    string
+	used      bool
+}
+
+// suppressionIndex locates directives by (file, line).
+type suppressionIndex struct {
+	byLine map[string]map[int]*suppression
+	all    []*suppression
+}
+
+// suppressions parses and memoizes the package's //hetis: comments.
+func (p *Package) suppressions() *suppressionIndex {
+	if p.supp != nil {
+		return p.supp
+	}
+	idx := &suppressionIndex{byLine: map[string]map[int]*suppression{}}
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				s := &suppression{
+					pos:       p.Fset.Position(c.Pos()),
+					directive: name,
+					reason:    strings.TrimSpace(reason),
+				}
+				lines := idx.byLine[s.pos.Filename]
+				if lines == nil {
+					lines = map[int]*suppression{}
+					idx.byLine[s.pos.Filename] = lines
+				}
+				// A multi-line leading comment group ends on the line
+				// above the code it documents; index the directive at the
+				// line of the comment itself (lookup checks line and
+				// line-1, which covers both trailing and leading forms).
+				lines[s.pos.Line] = s
+				idx.all = append(idx.all, s)
+			}
+		}
+	}
+	p.supp = idx
+	return idx
+}
+
+// lookup finds a directive with the given keyword covering line (the line
+// itself for trailing comments, or the line above for leading ones).
+func (idx *suppressionIndex) lookup(file string, line int, directive string) *suppression {
+	lines := idx.byLine[file]
+	if lines == nil {
+		return nil
+	}
+	for _, l := range [2]int{line, line - 1} {
+		if s := lines[l]; s != nil && s.directive == directive {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// The noglobalentropy analyzer: deterministic packages take entropy only
+// through injection.
+//
+// The simulator's whole contract is that (scenario, seed) → byte-identical
+// results. That dies the moment simulation code reads the wall clock, the
+// process environment, or math/rand's global generator: each is a hidden
+// input that varies run-to-run and machine-to-machine. Time must come from
+// the sim clock and randomness from an injected seeded *rand.Rand, so the
+// analyzer flags uses of time.Now, os.Getenv and friends, and math/rand's
+// package-level functions inside deterministic packages. Constructing a
+// local generator (rand.New, rand.NewSource, ...) stays legal — that is
+// exactly how seeded entropy enters.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoGlobalEntropy is the noglobalentropy analyzer.
+var NoGlobalEntropy = &Analyzer{
+	Name:      "noglobalentropy",
+	Doc:       "flags wall-clock time (time.Now), process environment (os.Getenv/LookupEnv/Environ), and math/rand package-level functions in deterministic packages — entropy must be injected as a seeded *rand.Rand and time must come from the sim clock; suppress deliberate wall-clock reads (e.g. self-profiling) with //hetis:entropy <reason>",
+	Directive: "entropy",
+	Run:       runNoGlobalEntropy,
+}
+
+// entropyFuncs lists the forbidden package-level functions. math/rand's
+// constructors are exempt: building a local seeded generator is the
+// sanctioned way in.
+var entropyFuncs = map[string]map[string]bool{
+	"time": {"Now": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoGlobalEntropy(pass *Pass) {
+	if !DeterministicPackage(pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods are fine: r.Intn on an injected *rand.Rand is
+				// the sanctioned pattern.
+				return true
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			switch {
+			case entropyFuncs[path] != nil && entropyFuncs[path][name]:
+				pass.Reportf(id.Pos(),
+					"%s.%s in deterministic package %s: hidden run-to-run input — take time from the sim clock / config instead, or annotate //hetis:entropy <why this cannot affect results>",
+					path, name, pass.Pkg.Path)
+			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+				pass.Reportf(id.Pos(),
+					"package-level %s.%s in deterministic package %s: uses the global generator — draw from an injected seeded *rand.Rand instead",
+					path, name, pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,85 @@
+// The handlelifetime analyzer: sim.Handle is single-shot; don't build
+// lifetimes the kernel can't see.
+//
+// A sim.Handle pairs a pooled *Event with the generation it was issued
+// for; once the event fires, the kernel recycles the Event and bumps the
+// generation, so a retained Handle silently goes stale (the PR 5 bug was
+// exactly this — cancelling through a handle whose event had already fired
+// and been reissued). The safe shapes are (a) one handle in one struct
+// field, cleared or overwritten when the event fires, and (b) sim.Group,
+// which tracks arbitrarily many handles with pruning. The analyzer flags
+// the shapes that historically rot: handles stored into ad-hoc collections
+// (slices, maps, composite literals), where no code path ties the stored
+// copy to the event's firing, and ==/!= between handles, which compares
+// pooled pointers and lies after reuse — use Alive/Cancel instead.
+//
+// internal/sim itself is exempt: the kernel is the one place that
+// legitimately manipulates raw handle state.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// HandleLifetime is the handlelifetime analyzer.
+var HandleLifetime = &Analyzer{
+	Name:      "handlelifetime",
+	Doc:       "flags sim.Handle values stored into slices, maps, or composite literals (use a single struct field or sim.Group, which track firing) and ==/!= comparisons between handles (pooled events make equality lie after reuse — use Alive/Cancel); suppress audited sites with //hetis:handle <reason>",
+	Directive: "handle",
+	Run:       runHandleLifetime,
+}
+
+func runHandleLifetime(pass *Pass) {
+	if !DeterministicPackage(pass.Pkg.Path) || pathIs(pass.Pkg.Path, "internal/sim") {
+		return
+	}
+	isHandle := func(e ast.Expr) bool {
+		return isNamedFrom(pass.TypeOf(e), "internal/sim", "Handle")
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if (x.Op == token.EQL || x.Op == token.NEQ) && isHandle(x.X) && isHandle(x.Y) {
+					pass.Reportf(x.OpPos,
+						"compares sim.Handle values with %s: handles wrap pooled events, so equality is meaningless once either event has fired and been reissued — use Simulator.Alive or track state alongside the handle",
+						x.Op)
+				}
+			case *ast.CompositeLit:
+				for _, el := range x.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isHandle(v) {
+						pass.Reportf(v.Pos(),
+							"stores a sim.Handle in a composite literal: collections of handles go stale when events fire — keep one handle per struct field or use sim.Group")
+					}
+				}
+			case *ast.CallExpr:
+				if fn, ok := x.Fun.(*ast.Ident); ok && fn.Name == "append" {
+					for _, arg := range x.Args[min(1, len(x.Args)):] {
+						if isHandle(arg) {
+							pass.Reportf(arg.Pos(),
+								"appends a sim.Handle to a slice: ad-hoc handle collections go stale when events fire — use sim.Group, which prunes dead handles")
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					ix, ok := lhs.(*ast.IndexExpr)
+					if !ok || i >= len(x.Rhs) {
+						continue
+					}
+					if isHandle(x.Rhs[min(i, len(x.Rhs)-1)]) {
+						pass.Reportf(ix.Pos(),
+							"stores a sim.Handle into an indexed collection: nothing removes the entry when its event fires — use sim.Group or a struct field the firing callback clears")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,298 @@
+// The package loader: a minimal, offline substitute for
+// golang.org/x/tools/go/packages. It parses and type-checks module
+// packages with the standard library's source importer, resolving module
+// import paths ("hetis/...") against the module root and — for
+// analysistest — fixture paths against a testdata/src root, exactly like
+// x/tools' analysistest layout.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// sharedFset and stdImporter are process-wide: the source importer
+// type-checks each stdlib package from GOROOT/src once, and every loader
+// (the self-check, each analysistest fixture run, the hetislint driver)
+// reuses that work. Loads are single-threaded; nothing here locks.
+var (
+	sharedFset  = token.NewFileSet()
+	stdImporter = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("hetis/internal/sim", or a fixture path).
+	Path string
+	// Dir is the directory the sources were read from (empty for
+	// stdlib packages resolved through the source importer).
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	supp *suppressionIndex
+}
+
+// Loader resolves, parses, and type-checks packages.
+type Loader struct {
+	// ModuleRoot is the absolute directory holding go.mod.
+	ModuleRoot string
+	// ModulePath is the module's import path prefix ("hetis").
+	ModulePath string
+	// FixtureRoot, when set, resolves import paths that are neither
+	// module-local nor standard library against this directory —
+	// the analysistest testdata/src layout.
+	FixtureRoot string
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at dir (the directory
+// containing go.mod).
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: module root %s: %w", abs, err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", abs)
+	}
+	return &Loader{
+		ModuleRoot: abs,
+		ModulePath: modPath,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Load resolves the patterns to packages and returns them sorted by
+// import path. A pattern is an import path ("hetis/internal/sim", a
+// fixture path under FixtureRoot), or a recursive form ending in "/..."
+// that expands below the named package's directory. Standard-library
+// packages cannot be named as patterns; they load implicitly as imports.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "/..."); ok {
+			dir, err := l.dirOf(base)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: pattern %q: %w", pat, err)
+			}
+			sub, err := packageDirs(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				rel, err := filepath.Rel(dir, d)
+				if err != nil {
+					return nil, err
+				}
+				if rel == "." {
+					add(base)
+					continue
+				}
+				add(base + "/" + filepath.ToSlash(rel))
+			}
+			continue
+		}
+		add(pat)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.importPkg(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// dirOf maps an import path to its source directory.
+func (l *Loader) dirOf(path string) (string, error) {
+	switch {
+	case path == l.ModulePath:
+		return l.ModuleRoot, nil
+	case strings.HasPrefix(path, l.ModulePath+"/"):
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/"))), nil
+	case l.FixtureRoot != "":
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("cannot resolve %q to a directory", path)
+}
+
+// packageDirs lists dir and every subdirectory containing non-test Go
+// files, skipping testdata, hidden, and underscore-prefixed directories.
+func packageDirs(dir string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goSources(p)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			out = append(out, p)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// goSources lists a directory's non-test .go files, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	pkg, err := l.importPkg(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// ImportFrom implements types.ImporterFrom (the checker calls this form).
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return l.Import(path)
+}
+
+// importPkg loads, parses, and type-checks one package (memoized).
+// Non-module, non-fixture paths fall through to the standard library's
+// source importer.
+func (l *Loader) importPkg(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, err := l.dirOf(path)
+	if err != nil {
+		// Not module-local and not a fixture: standard library.
+		tpkg, stdErr := stdImporter.ImportFrom(path, l.ModuleRoot, 0)
+		if stdErr != nil {
+			return nil, fmt.Errorf("analysis: import %q: %v (and %v)", path, stdErr, err)
+		}
+		pkg := &Package{Path: path, Fset: sharedFset, Types: tpkg}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	srcs, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(srcs))
+	for _, src := range srcs {
+		f, err := parser.ParseFile(sharedFset, src, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, sharedFset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  sharedFset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,172 @@
+// The maprange analyzer: no raw map iteration in deterministic packages.
+//
+// Go randomizes map iteration order per run, so any `range` over a map in
+// simulation-state code is a latent determinism bug — the class the golden
+// traces catch only after the fact, one lucky seed at a time. The analyzer
+// flags every map range in a deterministic package except the one blessed
+// idiom: collecting keys (or values) into a slice that is subsequently
+// sorted in the same function before anything else observes it. Sites that
+// are provably order-insensitive for another reason carry
+// `//hetis:ordered <why>`.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange is the maprange analyzer.
+var MapRange = &Analyzer{
+	Name:      "maprange",
+	Doc:       "flags range-over-map in deterministic packages (internal/{sim,engine,dispatch,scenario,metrics}) unless the loop only collects into a slice that is sorted afterwards; suppress provably order-insensitive sites with //hetis:ordered <reason>",
+	Directive: "ordered",
+	Run:       runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !DeterministicPackage(pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if collectAndSortExempt(pass, rs, enclosingFunc(stack)) {
+				return
+			}
+			pass.Reportf(rs.For,
+				"iterates over a map (%s) in deterministic package %s: iteration order is randomized — collect and sort the keys first, or annotate //hetis:ordered <why the order cannot escape>",
+				types.TypeString(t, types.RelativeTo(pass.Pkg.Types)), pass.Pkg.Path)
+		})
+	}
+}
+
+// collectAndSortExempt recognizes the blessed sorted-iteration idiom: the
+// range body does nothing but append map keys/values into slices
+// (optionally under an if filter), and at least one of those slices is
+// passed to a sort call later in the same function. Everything the loop
+// produced is then consumed in sorted order, so the map's order never
+// escapes.
+func collectAndSortExempt(pass *Pass, rs *ast.RangeStmt, fn ast.Node) bool {
+	if fn == nil {
+		return false
+	}
+	targets := map[string]bool{}
+	if !collectOnly(rs.Body.List, targets) || len(targets) == 0 {
+		return false
+	}
+	body := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() || !isSortCall(pass, call) {
+			return true
+		}
+		if len(call.Args) > 0 && callArgMentions(call.Args[0], targets) {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+// collectOnly reports whether every statement is an append of the form
+// `x = append(x, ...)` (or an else-less if containing only such appends),
+// recording the appended-to expressions in targets.
+func collectOnly(stmts []ast.Stmt, targets map[string]bool) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" || len(call.Args) == 0 {
+				return false
+			}
+			lhs := types.ExprString(s.Lhs[0])
+			if types.ExprString(call.Args[0]) != lhs {
+				return false
+			}
+			targets[lhs] = true
+		case *ast.IfStmt:
+			if s.Else != nil || s.Init != nil {
+				return false
+			}
+			if !collectOnly(s.Body.List, targets) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortFuncs are the recognized sorting entry points, by package path.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// isSortCall reports whether call invokes one of the recognized sort
+// functions.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	names := sortFuncs[pkgName.Imported().Path()]
+	return names != nil && names[sel.Sel.Name]
+}
+
+// callArgMentions reports whether the sort call's first argument is one
+// of the collected slices, unwrapping adapter calls such as
+// sort.Reverse(sort.IntSlice(x)).
+func callArgMentions(arg ast.Expr, targets map[string]bool) bool {
+	if targets[types.ExprString(arg)] {
+		return true
+	}
+	if call, ok := arg.(*ast.CallExpr); ok {
+		for _, a := range call.Args {
+			if callArgMentions(a, targets) {
+				return true
+			}
+		}
+	}
+	return false
+}

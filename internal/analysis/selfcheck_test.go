@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hetis/internal/analysis"
+)
+
+// TestRepoSelfCheck runs the full suite over every package in the module
+// — the same sweep cmd/hetislint and the static-analysis CI job perform —
+// and requires it to come back clean. Any new unordered map range,
+// entropy leak, handle misuse, sink misordering, or stale/unjustified
+// //hetis: directive anywhere in the tree fails this test.
+func TestRepoSelfCheck(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(loader.ModulePath + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s — the module walk looks broken", len(pkgs), root)
+	}
+	diags := analysis.RunSuite(analysis.Suite(), pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,212 @@
+// The sinkdiscipline analyzer: snapshots end a sink's life, and trace
+// logs are optional.
+//
+// Two lifecycle contracts, both easy to violate silently:
+//
+//  1. metrics sinks are observe-then-snapshot: Snapshot() is the
+//     end-of-run read, and Observe calls after it produce data no
+//     snapshot will ever report (or, for mux sinks, skew a second
+//     snapshot relative to the first). The analyzer flags an Observe on
+//     a receiver that has already been Snapshot()ed earlier in the same
+//     function.
+//
+//  2. trace logs are nil when tracing is off (Config.NoTrace): every
+//     exported *Log method must open with an `if l == nil` guard, and
+//     code outside internal/trace must not dereference a *trace.Log
+//     value (unary *) without a nil check in scope — method calls are
+//     the nil-safe surface.
+//
+// Suppress audited sites with //hetis:sink <reason>.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SinkDiscipline is the sinkdiscipline analyzer.
+var SinkDiscipline = &Analyzer{
+	Name:      "sinkdiscipline",
+	Doc:       "flags Observe calls on a metrics sink after Snapshot() in the same function, exported *Log methods in internal/trace missing the leading nil guard, and unary dereferences of *trace.Log without a nil check in scope (trace logs are nil under Config.NoTrace); suppress audited sites with //hetis:sink <reason>",
+	Directive: "sink",
+	Run:       runSinkDiscipline,
+}
+
+func runSinkDiscipline(pass *Pass) {
+	inTrace := pathIs(pass.Pkg.Path, "internal/trace")
+	if !DeterministicPackage(pass.Pkg.Path) && !inTrace {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if inTrace {
+			checkNilGuards(pass, file)
+			continue
+		}
+		checkSnapshotThenObserve(pass, file)
+		checkLogDerefs(pass, file)
+	}
+}
+
+// checkSnapshotThenObserve flags, within each function, an Observe call
+// on a receiver expression that Snapshot() was already called on. The
+// receiver must actually be sink-shaped (both methods in its method set)
+// so ordinary Snapshot methods elsewhere don't trip it.
+func checkSnapshotThenObserve(pass *Pass, file *ast.File) {
+	type snapshotSite struct {
+		pos token.Pos
+	}
+	var snapped map[string]snapshotSite // receiver ExprString → first Snapshot
+	inspectWithStack(file, func(n ast.Node, stack []ast.Node) {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			// ast.Inspect visits functions in source order and we only
+			// compare sites inside one function, so resetting at each
+			// function entry keeps the map scoped. Nested literals share
+			// the enclosing map on purpose: a closure observing a sink
+			// its parent already snapshot is the same bug.
+			if enclosingFunc(stack) == nil {
+				snapped = map[string]snapshotSite{}
+			}
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || snapped == nil {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		recvT := pass.TypeOf(sel.X)
+		if recvT == nil || !hasMethod(recvT, "Snapshot") || !hasMethod(recvT, "Observe") {
+			return
+		}
+		recv := types.ExprString(sel.X)
+		switch sel.Sel.Name {
+		case "Snapshot":
+			if _, done := snapped[recv]; !done {
+				snapped[recv] = snapshotSite{pos: call.Pos()}
+			}
+		case "Observe":
+			if site, done := snapped[recv]; done && call.Pos() > site.pos {
+				pass.Reportf(call.Pos(),
+					"Observe on %s after its Snapshot() at line %d: observations after the snapshot are invisible to it — snapshot once, after the last observation",
+					recv, pass.Fset.Position(site.pos).Line)
+			}
+		}
+	})
+}
+
+// checkNilGuards enforces the internal/trace contract: every exported
+// method with a pointer *Log receiver starts with `if <recv> == nil`.
+// Callers hold nil logs whenever tracing is disabled, so the guard is the
+// entire reason method calls are the safe surface.
+func checkNilGuards(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() || fd.Body == nil {
+			continue
+		}
+		recvT := pass.TypeOf(fd.Recv.List[0].Type)
+		if _, isPtr := recvT.(*types.Pointer); !isPtr || !isNamedFrom(recvT, "internal/trace", "Log") {
+			continue
+		}
+		if !startsWithNilGuard(fd) {
+			pass.Reportf(fd.Name.Pos(),
+				"exported method %s on *Log does not start with a nil-receiver guard: trace logs are nil when tracing is off, so every exported method must begin `if l == nil`",
+				fd.Name.Name)
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the method body's first statement is
+// `if <recv> == nil { ... }` — possibly as the leftmost operand of an ||
+// chain (`if l == nil || len(l.events) == 0`), which short-circuiting
+// makes just as safe.
+func startsWithNilGuard(fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond := ifs.Cond
+	for {
+		or, ok := cond.(*ast.BinaryExpr)
+		if !ok || or.Op != token.LOR {
+			break
+		}
+		cond = or.X
+	}
+	cmp, ok := cond.(*ast.BinaryExpr)
+	if !ok || cmp.Op != token.EQL {
+		return false
+	}
+	recvName := ""
+	if names := fd.Recv.List[0].Names; len(names) == 1 {
+		recvName = names[0].Name
+	}
+	x, xOK := cmp.X.(*ast.Ident)
+	y, yOK := cmp.Y.(*ast.Ident)
+	if !xOK || !yOK {
+		return false
+	}
+	if x.Name == recvName && y.Name == "nil" {
+		return true
+	}
+	return y.Name == recvName && x.Name == "nil"
+}
+
+// checkLogDerefs flags `*x` where x is a *trace.Log, unless an ancestor
+// if-statement's condition mentions a `!= nil` comparison. Method calls
+// on a nil log are safe (the guards above); copying the pointed-to Log
+// is not.
+func checkLogDerefs(pass *Pass, file *ast.File) {
+	inspectWithStack(file, func(n ast.Node, stack []ast.Node) {
+		star, ok := n.(*ast.StarExpr)
+		if !ok {
+			return
+		}
+		t := pass.TypeOf(star.X)
+		if _, isPtr := t.(*types.Pointer); !isPtr || !isNamedFrom(t, "internal/trace", "Log") {
+			return
+		}
+		// *ast.StarExpr is also the syntax for the pointer *type*; a
+		// type expression has no value, so require a value here.
+		if tv, ok := pass.Pkg.Info.Types[star.X]; !ok || !tv.IsValue() {
+			return
+		}
+		for _, anc := range stack {
+			ifs, ok := anc.(*ast.IfStmt)
+			if ok && condChecksNotNil(ifs.Cond) {
+				return
+			}
+		}
+		pass.Reportf(star.Pos(),
+			"dereferences a *trace.Log without a nil check in scope: the log is nil when Config.NoTrace is set — guard with `if x != nil` or stick to method calls, which are nil-safe")
+	})
+}
+
+// condChecksNotNil reports whether the condition contains a `!= nil`
+// comparison (possibly among && / || clauses).
+func condChecksNotNil(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if cmp, ok := n.(*ast.BinaryExpr); ok && cmp.Op == token.NEQ {
+			if isNilIdent(cmp.X) || isNilIdent(cmp.Y) {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

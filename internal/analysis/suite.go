@@ -1,0 +1,12 @@
+package analysis
+
+// Suite returns every analyzer in the hetis lint suite, in the order
+// cmd/hetislint lists and runs them.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		MapRange,
+		NoGlobalEntropy,
+		HandleLifetime,
+		SinkDiscipline,
+	}
+}

@@ -1,0 +1,7 @@
+// Package cmdutil sits outside the deterministic set: wall-clock reads in
+// CLI glue are fine.
+package cmdutil
+
+import "time"
+
+func Stamp() int64 { return time.Now().Unix() }

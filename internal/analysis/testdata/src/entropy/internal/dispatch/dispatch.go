@@ -1,0 +1,31 @@
+// Package dispatch exercises the noglobalentropy analyzer inside a
+// deterministic package path (suffix internal/dispatch).
+package dispatch
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+func envRead() string {
+	return os.Getenv("HETIS_MODE") // want `os\.Getenv in deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `package-level math/rand\.Intn`
+}
+
+func injected(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func profiled() {
+	//hetis:entropy wall-clock self-profiling only; the reading never feeds results
+	_ = time.Now()
+}

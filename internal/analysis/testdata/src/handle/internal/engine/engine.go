@@ -1,0 +1,46 @@
+// Package engine exercises the handlelifetime analyzer outside the
+// kernel, inside a deterministic package path.
+package engine
+
+import "handle/internal/sim"
+
+type worker struct {
+	pending sim.Handle
+	busy    bool
+}
+
+// arm shows the blessed shape: one handle in one struct field, cleared by
+// the firing callback's state flip.
+func (w *worker) arm(s *sim.Simulator) {
+	w.pending = s.Schedule(5, func() { w.busy = false })
+	w.busy = true
+}
+
+func compare(a, b sim.Handle) bool {
+	return a == b // want `compares sim\.Handle values`
+}
+
+func collect(s *sim.Simulator) []sim.Handle {
+	var hs []sim.Handle
+	hs = append(hs, s.Schedule(1, nil)) // want `appends a sim\.Handle`
+	return hs
+}
+
+func literal(h sim.Handle) []sim.Handle {
+	return []sim.Handle{h} // want `composite literal`
+}
+
+func indexed(m map[int]sim.Handle, h sim.Handle) {
+	m[0] = h // want `indexed collection`
+}
+
+func grouped(g *sim.Group, h sim.Handle) {
+	g.Track(h)
+}
+
+func audited(s *sim.Simulator) []sim.Handle {
+	hs := make([]sim.Handle, 0, 4)
+	//hetis:handle every handle is cancelled before the clock advances; none can fire
+	hs = append(hs, s.Schedule(1, nil))
+	return hs
+}

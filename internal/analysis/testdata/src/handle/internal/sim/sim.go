@@ -1,0 +1,28 @@
+// Package sim is a structural lookalike of hetis' event kernel: the
+// handlelifetime analyzer matches the named type Handle declared in any
+// package whose path ends internal/sim, so this fixture stands in for the
+// real kernel. The kernel package itself is exempt from the analyzer —
+// the raw handle manipulation below must produce no diagnostics.
+package sim
+
+type Event struct{ seq uint64 }
+
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+type Simulator struct{ now int64 }
+
+func (s *Simulator) Schedule(delay int64, fn func()) Handle { return Handle{} }
+
+func (s *Simulator) Alive(h Handle) bool { return h.ev != nil }
+
+func (s *Simulator) Cancel(h Handle) bool { return h.ev != nil }
+
+// Group collects handles inside the kernel — legal here, flagged outside.
+type Group struct{ handles []Handle }
+
+func (g *Group) Track(h Handle) { g.handles = append(g.handles, h) }
+
+func sameIssue(a, b Handle) bool { return a == b }

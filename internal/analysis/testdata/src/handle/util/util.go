@@ -1,0 +1,11 @@
+// Package util sits outside the deterministic set: handle collections in
+// test/bench scaffolding are not the analyzer's business.
+package util
+
+import "handle/internal/sim"
+
+func Collect(s *sim.Simulator) []sim.Handle {
+	var hs []sim.Handle
+	hs = append(hs, s.Schedule(1, nil))
+	return hs
+}

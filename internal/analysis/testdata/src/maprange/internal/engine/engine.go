@@ -1,0 +1,75 @@
+// Package engine exercises the maprange analyzer inside a deterministic
+// package path (suffix internal/engine).
+package engine
+
+import "sort"
+
+func plainRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `iterates over a map`
+		total += v
+	}
+	return total
+}
+
+func collectAndSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectWithFilter(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `iterates over a map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortBeforeNotAfter(m map[string]int, keys []string) []string {
+	sort.Strings(keys)
+	for k := range m { // want `iterates over a map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func suppressed(m map[string]int) int {
+	n := 0
+	//hetis:ordered counting entries only; the count is independent of order
+	for range m {
+		n++
+	}
+	return n
+}
+
+func missingReason(m map[string]int) int {
+	n := 0
+	//hetis:ordered
+	for range m { // want `missing its justification`
+		n++
+	}
+	return n
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

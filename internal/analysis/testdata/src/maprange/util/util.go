@@ -1,0 +1,11 @@
+// Package util sits outside the deterministic set: map iteration here is
+// not the analyzer's business.
+package util
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+// Package engine exercises sinkdiscipline's trace-log dereference rule: a
+// *trace.Log is nil when tracing is off, so unary dereferences need a nil
+// check in scope (method calls are the nil-safe surface).
+package engine
+
+import "sink/internal/trace"
+
+type result struct{ Trace *trace.Log }
+
+func copyLog(r result) trace.Log {
+	return *r.Trace // want `dereferences a \*trace\.Log`
+}
+
+func guardedCopy(r result) trace.Log {
+	if r.Trace != nil {
+		return *r.Trace
+	}
+	return trace.Log{}
+}
+
+func methodCall(r result) int {
+	return r.Trace.Len()
+}
+
+func audited(r result) trace.Log {
+	//hetis:sink this helper is only reached from traced runs; the caller checks NoTrace
+	return *r.Trace
+}

@@ -1,0 +1,39 @@
+// Package metrics exercises sinkdiscipline's snapshot-then-observe rule
+// with a structural Sink lookalike (any receiver with both Observe and
+// Snapshot in its method set).
+package metrics
+
+type Sink struct{ n int }
+
+func (s *Sink) Observe(v float64) { s.n++ }
+
+func (s *Sink) Snapshot() int { return s.n }
+
+func snapshotThenObserve(s *Sink) int {
+	s.Observe(1)
+	got := s.Snapshot()
+	s.Observe(2) // want `Observe on s after its Snapshot`
+	return got
+}
+
+func observeThenSnapshot(s *Sink) int {
+	s.Observe(1)
+	return s.Snapshot()
+}
+
+func twoSinks(a, b *Sink) int {
+	got := a.Snapshot()
+	b.Observe(1)
+	return got
+}
+
+func snapshotOnly(s *Sink) int { return s.Snapshot() }
+
+func observeOnly(s *Sink) { s.Observe(3) }
+
+func audited(s *Sink) int {
+	got := s.Snapshot()
+	//hetis:sink mid-run snapshot by design; later observations land in the final snapshot
+	s.Observe(1)
+	return got
+}

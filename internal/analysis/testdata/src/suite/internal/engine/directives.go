@@ -1,0 +1,28 @@
+// Package engine exercises RunSuite's directive audit: unknown //hetis:
+// keywords and justified suppressions that no longer excuse anything are
+// findings in their own right.
+package engine
+
+import "sort"
+
+func used(m map[string]int) int {
+	n := 0
+	//hetis:ordered entry count is independent of iteration order
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+/* want `unknown directive` */ //hetis:bogus not a keyword any analyzer owns
+
+/* want `unused suppression` */ //hetis:ordered nothing on this line is flagged

@@ -136,6 +136,7 @@ func TestRunMicro(t *testing.T) {
 		"sim/schedule-run-1024",
 		"sim/wheel-cascade-64k",
 		"sim/cancel-heavy-4096",
+		"engine/queue-storm-4096",
 		"dispatch/admission-lp",
 		"dispatch/ideal-attn-lp-128",
 		"lp/solve-cold-20x12",

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hetis/internal/dispatch"
+	"hetis/internal/engine"
 	"hetis/internal/hardware"
 	"hetis/internal/kvcache"
 	"hetis/internal/lp"
@@ -26,6 +27,7 @@ func RunMicro() []MicroBench {
 		microResult("sim/schedule-run-1024", benchSimScheduleRun),
 		microResult("sim/wheel-cascade-64k", benchSimWheelCascade),
 		microResult("sim/cancel-heavy-4096", benchSimCancelHeavy),
+		microResult("engine/queue-storm-4096", benchQueueStorm),
 		microResult("dispatch/admission-lp", benchDispatchLP),
 		microResult("dispatch/ideal-attn-lp-128", benchIdealAttn),
 		microResult("lp/solve-cold-20x12", benchLPSolveCold),
@@ -153,6 +155,20 @@ func benchSimCancelHeavy(b *testing.B) {
 			s.Cancel(hs[k])
 		}
 		s.RunUntilIdle()
+	}
+}
+
+// benchQueueStorm measures a preemption storm against the engine request
+// deque: 4096 victims requeued at the head of a 4096-deep FIFO, then a
+// full drain. The ring buffer makes every head insert O(1); the retired
+// slice-backed queue copied the whole backing array per insert whenever
+// the head sat at slot 0, turning a storm into O(n²).
+func benchQueueStorm(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := engine.QueueStorm(4096, 4096); got != 8192 {
+			b.Fatalf("queue storm drained %d of 8192 requests", got)
+		}
 	}
 }
 

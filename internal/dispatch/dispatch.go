@@ -410,6 +410,7 @@ func (d *Dispatcher) solvePlacement(reqs []NewRequest, exclude map[int]bool) ([]
 	// warm-started — see idealAttn.)
 	reposable := memoable && !d.nowarm
 	d.LPSolves++
+	//hetis:entropy wall-clock self-profiling; LPSolveSeconds is reporting-only and never feeds placement decisions
 	start := time.Now() // the LP layer's cost is posing + solving
 	prob := d.posePlacement(reqs, exclude, nVars, reposable)
 	res, err := prob.Solve()
@@ -772,6 +773,7 @@ func (d *Dispatcher) idealAttn(buckets []bucket) (z float64, exact func() (float
 	cache := d.idealCacheFor(len(buckets))
 	d.LPSolves++
 	d.LPIdealSolves++
+	//hetis:entropy wall-clock self-profiling; LPSolveSeconds is reporting-only and never feeds placement decisions
 	start := time.Now() // the LP layer's cost is posing + solving
 	prob := d.poseIdeal(buckets, nVars, cache)
 	var res lp.Result
@@ -798,6 +800,7 @@ func (d *Dispatcher) idealAttn(buckets []bucket) (z float64, exact func() (float
 	storeIdealPoint(cache, buckets, res.X, nW)
 	if warm {
 		exact = func() (float64, error) {
+			//hetis:entropy wall-clock self-profiling; LPSolveSeconds is reporting-only and never feeds placement decisions
 			start := time.Now()
 			res, err := prob.Solve()
 			d.LPSolveSeconds += time.Since(start).Seconds()
@@ -945,11 +948,12 @@ func (d *Dispatcher) idealLowerBound() float64 {
 		return 0
 	}
 	headTot := float64(d.cfg.Heads) * float64(n)
-	var byteTot float64
+	var ctxTot int64
+	//hetis:ordered integer sum; int64 addition is commutative, so map order cannot change the total
 	for _, l := range d.ctxLen {
-		byteTot += float64(l)
+		ctxTot += int64(l)
 	}
-	byteTot *= d.perHeadTokenBytes * float64(d.cfg.Heads)
+	byteTot := float64(ctxTot) * d.perHeadTokenBytes * float64(d.cfg.Heads)
 
 	var maxFixed float64
 	headOK, byteOK := true, true
@@ -1222,7 +1226,8 @@ func (d *Dispatcher) CheckInvariants() error {
 	h := make([]float64, len(d.workers))
 	g := make([]float64, len(d.workers))
 	r := d.cfg.GroupRatio()
-	for id, x := range d.place {
+	for _, id := range d.Requests() {
+		x := d.place[id]
 		total := 0
 		for i, heads := range x {
 			if heads%r != 0 {

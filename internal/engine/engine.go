@@ -324,40 +324,89 @@ func (r *request) prefillLen() int {
 
 func (r *request) done() bool { return r.generated >= r.wl.OutputLen }
 
-// queue is a FIFO of requests with O(1) amortized pop.
+// queue is a deque of requests on a power-of-two ring: push, pushFront,
+// and pop are all O(1) amortized. pushFront is the requeue path eviction
+// and preemption storms hammer (a victim goes back to the head so it
+// keeps its place in line); the previous slice-backed version paid a
+// full copy whenever the head was already at slot 0. Popped slots are
+// nil'd immediately so a served request never stays pinned behind the
+// ring's lifetime.
 type queue struct {
-	items []*request
-	head  int
+	ring []*request // empty or power-of-two length
+	head int        // index of the front element
+	n    int        // live element count
 }
 
-func (q *queue) push(r *request) { q.items = append(q.items, r) }
+func (q *queue) grow() {
+	size := 2 * len(q.ring)
+	if size == 0 {
+		size = 8
+	}
+	ring := make([]*request, size)
+	mask := len(q.ring) - 1
+	for i := 0; i < q.n; i++ {
+		ring[i] = q.ring[(q.head+i)&mask]
+	}
+	q.ring = ring
+	q.head = 0
+}
+
+func (q *queue) push(r *request) {
+	if q.n == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.n)&(len(q.ring)-1)] = r
+	q.n++
+}
+
 func (q *queue) pushFront(r *request) {
-	if q.head > 0 {
-		q.head--
-		q.items[q.head] = r
-		return
+	if q.n == len(q.ring) {
+		q.grow()
 	}
-	q.items = append([]*request{r}, q.items...)
+	q.head = (q.head - 1) & (len(q.ring) - 1)
+	q.ring[q.head] = r
+	q.n++
 }
-func (q *queue) len() int { return len(q.items) - q.head }
+
+func (q *queue) len() int { return q.n }
+
 func (q *queue) peek() *request {
-	if q.len() == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	return q.items[q.head]
+	return q.ring[q.head]
 }
+
 func (q *queue) pop() *request {
-	if q.len() == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	r := q.items[q.head]
-	q.items[q.head] = nil
-	q.head++
-	if q.head > 256 && q.head*2 > len(q.items) {
-		q.items = append([]*request(nil), q.items[q.head:]...)
-		q.head = 0
-	}
+	r := q.ring[q.head]
+	q.ring[q.head] = nil // release: served requests must be collectable
+	q.head = (q.head + 1) & (len(q.ring) - 1)
+	q.n--
 	return r
+}
+
+// QueueStorm is the benchmark surface for the (unexported) request deque:
+// it fills a queue `fill` deep, requeues `storm` victims at the head —
+// the preemption-storm pattern, where the retired slice-backed queue paid
+// a full copy per head insert — then drains, returning the pop count so
+// callers can assert nothing was lost.
+func QueueStorm(fill, storm int) int {
+	var q queue
+	reqs := make([]request, fill+storm)
+	for i := 0; i < fill; i++ {
+		q.push(&reqs[i])
+	}
+	for i := 0; i < storm; i++ {
+		q.pushFront(&reqs[fill+i])
+	}
+	pops := 0
+	for q.pop() != nil {
+		pops++
+	}
+	return pops
 }
 
 // scheduleArrivals feeds the trace into the engines' admission path.

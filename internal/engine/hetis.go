@@ -880,6 +880,7 @@ func (inst *hetisInstance) frozenRequests(window int) map[int64]bool {
 		return nil // reads on a nil map are false, and no allocation
 	}
 	out := make(map[int64]bool)
+	//hetis:ordered builds a membership set; callers only test membership, so insertion order is invisible
 	for id, step := range inst.lastMig {
 		if inst.decodeSteps-step < 2*window {
 			out[id] = true

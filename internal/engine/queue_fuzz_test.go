@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"testing"
+
+	"hetis/internal/workload"
+)
+
+// refDeque is the trivially-correct oracle for the ring-backed queue: a
+// plain slice where pushFront really prepends and pop really shifts.
+// Mirrors the frozen-reference pattern of internal/sim's
+// FuzzQueueEquivalence and internal/lp's reference solver.
+type refDeque struct{ items []*request }
+
+func (d *refDeque) push(r *request)      { d.items = append(d.items, r) }
+func (d *refDeque) pushFront(r *request) { d.items = append([]*request{r}, d.items...) }
+func (d *refDeque) len() int             { return len(d.items) }
+func (d *refDeque) peek() *request {
+	if len(d.items) == 0 {
+		return nil
+	}
+	return d.items[0]
+}
+func (d *refDeque) pop() *request {
+	if len(d.items) == 0 {
+		return nil
+	}
+	r := d.items[0]
+	d.items = d.items[1:]
+	return r
+}
+
+// FuzzRequestQueueEquivalence drives the ring deque and the oracle with
+// the same operation stream — each input byte is one op — and requires
+// identical results throughout: same pops, same peeks, same lengths.
+func FuzzRequestQueueEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 2, 2, 2})
+	f.Add([]byte{1, 1, 1, 1, 2, 0, 2, 1, 2, 2, 2})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 2, 2, 2, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q queue
+		var ref refDeque
+		next := int64(0)
+		for i, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				r := &request{wl: workload.Request{ID: next}}
+				next++
+				if op%4 == 0 {
+					q.push(r)
+					ref.push(r)
+				} else {
+					q.pushFront(r)
+					ref.pushFront(r)
+				}
+			case 2:
+				got, want := q.pop(), ref.pop()
+				if got != want {
+					t.Fatalf("op %d: pop mismatch: ring %v, oracle %v", i, got, want)
+				}
+			case 3:
+				got, want := q.peek(), ref.peek()
+				if got != want {
+					t.Fatalf("op %d: peek mismatch: ring %v, oracle %v", i, got, want)
+				}
+			}
+			if q.len() != ref.len() {
+				t.Fatalf("op %d: length mismatch: ring %d, oracle %d", i, q.len(), ref.len())
+			}
+		}
+		for ref.len() > 0 {
+			if got, want := q.pop(), ref.pop(); got != want {
+				t.Fatalf("drain: pop mismatch: ring %v, oracle %v", got, want)
+			}
+		}
+		if q.pop() != nil {
+			t.Fatal("ring queue pops after the oracle drained")
+		}
+	})
+}

@@ -13,55 +13,55 @@ import (
 
 // TestQueueReleasesPoppedRequests pins the queue's memory discipline: a
 // popped slot must drop its *request pointer immediately (so served
-// requests become collectable during long runs), and once the dead prefix
-// dominates the backing array the queue must compact it away instead of
-// pinning every popped slot for the run's lifetime.
+// requests become collectable during long runs), and the ring must not
+// grow beyond what peak occupancy requires — steady-state churn recycles
+// slots instead of allocating.
 func TestQueueReleasesPoppedRequests(t *testing.T) {
 	var q queue
 	const n = 1000
 	for i := 0; i < n; i++ {
 		q.push(&request{wl: workload.Request{ID: int64(i)}})
 	}
-	// Pop up to (but not past) the compaction threshold and check every
-	// vacated slot is nil'd.
+	ringCap := len(q.ring)
+	if ringCap < n || ringCap > 2*n {
+		t.Fatalf("ring holding %d requests has %d slots", n, ringCap)
+	}
+	// Pop half and check every vacated slot dropped its pointer.
 	for i := 0; i < 500; i++ {
 		if r := q.pop(); r.wl.ID != int64(i) {
 			t.Fatalf("pop %d returned request %d", i, r.wl.ID)
 		}
 	}
-	if q.head != 500 || len(q.items) != n {
-		t.Fatalf("queue compacted early: head %d, %d items", q.head, len(q.items))
-	}
-	for i := 0; i < q.head; i++ {
-		if q.items[i] != nil {
+	for i := 0; i < 500; i++ {
+		if q.ring[i] != nil {
 			t.Fatalf("popped slot %d still pins its request", i)
 		}
 	}
-	// The next pop crosses head*2 > len(items): the dead prefix must go.
-	if r := q.pop(); r.wl.ID != 500 {
-		t.Fatalf("pop 500 returned request %d", r.wl.ID)
-	}
-	if q.head != 0 || len(q.items) != n-501 {
-		t.Fatalf("queue did not compact: head %d, %d items (want head 0, %d items)", q.head, len(q.items), n-501)
-	}
-	if q.len() != n-501 {
-		t.Fatalf("compaction changed the logical length: %d", q.len())
-	}
-	// Remaining elements survive compaction in order, interleaved with
-	// recycled pushFront entries like an eviction storm produces.
-	q.pushFront(&request{wl: workload.Request{ID: -1}})
-	want := []int64{-1}
-	for i := 501; i < n; i++ {
-		want = append(want, int64(i))
-	}
-	for i, id := range want {
-		r := q.pop()
-		if r == nil || r.wl.ID != id {
-			t.Fatalf("after compaction pop %d: got %v, want ID %d", i, r, id)
+	// Steady-state churn — including the pushFront requeues an eviction
+	// storm produces — wraps around the ring without growing it.
+	for i := 0; i < 3*n; i++ {
+		q.pushFront(&request{wl: workload.Request{ID: int64(-1 - i)}})
+		if r := q.pop(); r.wl.ID != int64(-1-i) {
+			t.Fatalf("churn %d: pushFront/pop returned request %d", i, r.wl.ID)
 		}
+		q.push(&request{wl: workload.Request{ID: int64(n + i)}})
+		if r := q.pop(); r == nil {
+			t.Fatalf("churn %d: pop returned nil with %d queued", i, q.len())
+		}
+	}
+	if len(q.ring) != ringCap {
+		t.Fatalf("steady-state churn grew the ring: %d -> %d slots", ringCap, len(q.ring))
+	}
+	// Drain and verify every slot is released.
+	for q.pop() != nil {
 	}
 	if q.pop() != nil {
 		t.Fatal("drained queue still pops")
+	}
+	for i, r := range q.ring {
+		if r != nil {
+			t.Fatalf("drained ring slot %d still pins a request", i)
+		}
 	}
 }
 

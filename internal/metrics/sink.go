@@ -279,6 +279,7 @@ func (m *KeyedMux) Observe(r RequestRecord) {
 // sub-sinks for those).
 func (m *KeyedMux) Snapshot() Snapshot {
 	var s Snapshot
+	//hetis:ordered integer field sums; addition is commutative, so key order cannot change the totals
 	for _, sub := range m.byKey {
 		ss := sub.Snapshot()
 		s.Count += ss.Count

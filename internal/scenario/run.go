@@ -221,9 +221,9 @@ func meanOf(xs []float64) float64 {
 // tierPreempted sums a tier's preemption count from the per-tenant ledger.
 func tierPreempted(spec Spec, res *engine.Result, tier string) int {
 	n := 0
-	for tenant, c := range res.PreemptedByTenant {
+	for _, tenant := range tenantNames(res.PreemptedByTenant) {
 		if spec.tierOf(tenant) == tier {
-			n += c
+			n += res.PreemptedByTenant[tenant]
 		}
 	}
 	return n
@@ -279,9 +279,9 @@ func exactRows(tab *metrics.Table, spec Spec, engineName string, reqs []workload
 				}
 			}
 			offeredN := 0
-			for tenant, n := range offered {
+			for _, tenant := range tenantNames(offered) {
 				if spec.tierOf(tenant) == t.Name {
-					offeredN += n
+					offeredN += offered[tenant]
 				}
 			}
 			ttft, tpot, norm := sub.Summaries()
@@ -340,9 +340,9 @@ func streamRows(tab *metrics.Table, spec Spec, engineName string, reqs []workloa
 				ts = sub.Snapshot()
 			}
 			offeredN := 0
-			for tenant, n := range offered {
+			for _, tenant := range tenantNames(offered) {
 				if spec.tierOf(tenant) == t.Name {
-					offeredN += n
+					offeredN += offered[tenant]
 				}
 			}
 			tab.AddRow(spec.Name, engineName, "tier:"+t.Name,

@@ -37,5 +37,36 @@ func (l *Log) Guardless() int { // want `does not start with a nil-receiver guar
 	return len(l.events)
 }
 
+// Release mirrors the arena recycler: no results, so the guard is a bare
+// early return — still a leading nil guard.
+func (l *Log) Release() {
+	if l == nil {
+		return
+	}
+	l.events = nil
+}
+
+// Each mirrors the zero-copy visitor: a callback parameter does not
+// change the receiver contract.
+func (l *Log) Each(fn func(int) bool) {
+	if l == nil {
+		return
+	}
+	for _, v := range l.events {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Drain shows the visitor shape with the guard missing: iterating an
+// empty slice would be safe, but the contract is syntactic on purpose.
+func (l *Log) Drain(fn func(int)) { // want `does not start with a nil-receiver guard`
+	for _, v := range l.events {
+		fn(v)
+	}
+	l.events = l.events[:0]
+}
+
 // unexported methods run only behind the exported guards.
 func (l *Log) reset() { l.events = nil }

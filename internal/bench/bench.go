@@ -213,6 +213,10 @@ func measureScenario(spec scenario.Spec, repeat int, stream, noWarm bool, cache 
 			if rep == 0 || res.LPSolveSeconds < sb.LPSolveSeconds {
 				sb.LPSolveSeconds = res.LPSolveSeconds
 			}
+			// Hand the run's trace pages back to the arena pool: the next
+			// repeat (and the next scenario) appends into recycled pages
+			// instead of growing a fresh multi-hundred-MB log.
+			res.Trace.Release()
 		}
 		if sb.WallSeconds > 0 {
 			sb.EventsPerSec = float64(sb.Events) / sb.WallSeconds

@@ -145,6 +145,8 @@ func TestRunMicro(t *testing.T) {
 		"metrics/summarize-3x-10k",
 		"metrics/summaries-bulk-10k",
 		"metrics/streaming-observe",
+		"trace/append-1m",
+		"metrics/recorder-append-1m",
 	}
 	if len(micros) != len(want) {
 		t.Fatalf("got %d micro results want %d", len(micros), len(want))

@@ -13,6 +13,7 @@ import (
 	"hetis/internal/model"
 	"hetis/internal/profile"
 	"hetis/internal/sim"
+	"hetis/internal/trace"
 )
 
 // RunMicro executes the micro-benchmark set through testing.Benchmark, so
@@ -36,6 +37,57 @@ func RunMicro() []MicroBench {
 		microResult("metrics/summarize-3x-10k", benchSummarizeSeparate),
 		microResult("metrics/summaries-bulk-10k", benchSummariesBulk),
 		microResult("metrics/streaming-observe", benchStreamingObserve),
+		microResult("trace/append-1m", benchTraceAppend),
+		microResult("metrics/recorder-append-1m", benchRecorderAppend),
+	}
+}
+
+// benchTraceAppend appends one million events per op through the paged
+// arena's Add/static-Addf hot path, releasing the pages back to the pool
+// between ops — the steady-state append cost of the exact-measurement
+// path, with page reuse rather than fresh-arena growth dominating.
+func benchTraceAppend(b *testing.B) {
+	trace.ResetPagePool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var log trace.Log
+		for k := 0; k < 1_000_000; k++ {
+			if k%2 == 0 {
+				log.Add(trace.Event{At: float64(k) * 1e-3, Kind: trace.KindDecode, Request: int64(k), Value: float64(k % 7)})
+			} else {
+				log.Addf(float64(k)*1e-3, trace.KindFinish, int64(k), -1, 0, "done")
+			}
+		}
+		if log.Len() != 1_000_000 {
+			b.Fatalf("trace append logged %d of 1000000 events", log.Len())
+		}
+		log.Release()
+	}
+	b.StopTimer()
+	trace.ResetPagePool()
+}
+
+// benchRecorderAppend appends one million request records per op through
+// the slab-chunked recorder — the exact-sink cost the engines pay per
+// completion at megascale.
+func benchRecorderAppend(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := metrics.NewRecorder()
+		for k := 0; k < 1_000_000; k++ {
+			rec.Add(metrics.RequestRecord{
+				ID:         int64(k),
+				FirstToken: 0.05,
+				FinishedAt: 0.5,
+				PromptLen:  300,
+				OutputLen:  64,
+			})
+		}
+		if rec.Count() != 1_000_000 {
+			b.Fatalf("recorder append kept %d of 1000000 records", rec.Count())
+		}
 	}
 }
 

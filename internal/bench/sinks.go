@@ -10,6 +10,7 @@ import (
 	"hetis/internal/model"
 	"hetis/internal/scenario"
 	"hetis/internal/sweep"
+	"hetis/internal/trace"
 )
 
 // SinkBench is one sink-mode measurement of the sink-comparison scenario:
@@ -65,6 +66,10 @@ func measureSinks(spec scenario.Spec, cache *sweep.Cache) ([]SinkBench, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: sinks %s/%s: %w", spec.Name, engName, err)
 		}
+		// Drop pooled trace pages before the baseline: retained arena pages
+		// from earlier suite runs would inflate the pre-run heap and make
+		// the exact side's live-heap delta read low.
+		trace.ResetPagePool()
 		var before, beforeGC, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&beforeGC)
@@ -92,6 +97,7 @@ func measureSinks(spec scenario.Spec, cache *sweep.Cache) ([]SinkBench, error) {
 		runtime.ReadMemStats(&afterGC)
 		sb.LiveHeapBytes = int64(afterGC.HeapAlloc) - int64(beforeGC.HeapAlloc)
 		runtime.KeepAlive(res) // the Result (records, series, trace) is the measured residue
+		res.Trace.Release()
 		out = append(out, sb)
 	}
 	return out, nil

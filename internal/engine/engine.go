@@ -468,28 +468,48 @@ func scheduleArrivals(s *sim.Simulator, reqs []workload.Request, admit func(s *s
 		}
 		return
 	}
-	var feed func(i int) func(*sim.Simulator)
-	feed = func(i int) func(*sim.Simulator) {
-		return func(s *sim.Simulator) {
-			if i+1 < n {
-				s.ScheduleSeq(first+uint64(i+1), reqs[i+1].ArrivalAt, "arrival", feed(i+1))
-			}
-			admit(s, alloc(i))
-		}
+	f := &arrivalFeeder{reqs: reqs, first: first, admit: admit, alloc: alloc}
+	f.fn = f.fire
+	s.ScheduleSeq(first, reqs[0].ArrivalAt, "arrival", f.fn)
+}
+
+// arrivalFeeder is the sorted-trace lazy feed as a value: one cached
+// callback fires every arrival instead of a fresh closure per request
+// (a megascale trace paid one heap allocation per arrival for those).
+// next advances monotonically because exactly one arrival is pending at a
+// time, and fire schedules the successor before admitting — the identical
+// order the closure chain produced.
+type arrivalFeeder struct {
+	reqs  []workload.Request
+	first uint64
+	next  int
+	admit func(*sim.Simulator, *request)
+	alloc func(int) *request
+	fn    func(*sim.Simulator)
+}
+
+func (f *arrivalFeeder) fire(s *sim.Simulator) {
+	i := f.next
+	f.next++
+	if i+1 < len(f.reqs) {
+		s.ScheduleSeq(f.first+uint64(i+1), f.reqs[i+1].ArrivalAt, "arrival", f.fn)
 	}
-	s.ScheduleSeq(first, reqs[0].ArrivalAt, "arrival", feed(0))
+	f.admit(s, f.alloc(i))
 }
 
 // newRunSink resolves a run's measurement sink: the injected Config.Sink,
-// or a fresh exact recorder. The second return is the recorder view when
-// the sink stores records exactly (nil otherwise) — what Result.Recorder
-// carries for exact consumers.
-func (c Config) newRunSink() (metrics.Sink, *metrics.Recorder) {
+// or a fresh exact recorder pre-sized for the run's request count (every
+// request surfaces at most once — as a completion or a drop — so expected
+// bounds the record count and the recorder fills one contiguous slab).
+// The second return is the recorder view when the sink stores records
+// exactly (nil otherwise) — what Result.Recorder carries for exact
+// consumers.
+func (c Config) newRunSink(expected int) (metrics.Sink, *metrics.Recorder) {
 	if c.Sink != nil {
 		rec, _ := c.Sink.(*metrics.Recorder)
 		return c.Sink, rec
 	}
-	rec := metrics.NewRecorder()
+	rec := metrics.NewRecorderCap(expected)
 	return rec, rec
 }
 
@@ -502,9 +522,10 @@ func (c Config) newTraceLog() *trace.Log {
 	return &trace.Log{}
 }
 
-// recordFinish closes out a request on the run's sink.
-func recordFinish(sink metrics.Sink, r *request, now float64) {
-	sink.Observe(metrics.RequestRecord{
+// finishRecord builds the completion record recordFinish and the batched
+// finish path share.
+func finishRecord(r *request, now float64) metrics.RequestRecord {
+	return metrics.RequestRecord{
 		ID:         r.wl.ID,
 		ArrivalAt:  r.wl.ArrivalAt,
 		FirstToken: r.firstTok,
@@ -513,7 +534,7 @@ func recordFinish(sink metrics.Sink, r *request, now float64) {
 		OutputLen:  r.wl.OutputLen,
 		Tenant:     r.wl.Tenant,
 		Evicted:    r.evicted,
-	})
+	}
 }
 
 // recordDrop surfaces a request the run gave up on as a Dropped record:

@@ -49,6 +49,10 @@ type fleetCore struct {
 	// haulFree is when the haul link next frees up (transfers serialize).
 	inHaul   int
 	haulFree float64
+	// recBatch buffers one iteration's completion records: afterDecode
+	// loops fill it through finishDeferred and flush it with one batched
+	// sink append before the event callback returns.
+	recBatch []metrics.RequestRecord
 }
 
 func newFleetCore(cfg Config, res *Result, ctl *chaosCtl, sink metrics.Sink) fleetCore {
@@ -79,13 +83,28 @@ func (c *fleetCore) dropAdmitted(s *sim.Simulator, r *request) {
 	c.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindDrop, Request: r.wl.ID, Note: r.wl.Tenant})
 }
 
-// finishOne runs the shared completion bookkeeping.
-func (c *fleetCore) finishOne(s *sim.Simulator, r *request) {
+// finishDeferred runs the shared completion bookkeeping with the sink
+// append buffered: ledger, counter, and trace updates happen immediately
+// (so trace-event order is untouched), while the completion record waits
+// in recBatch for one batched sink call. Callers must flushFinishes
+// before their event callback returns.
+func (c *fleetCore) finishDeferred(s *sim.Simulator, r *request) {
 	c.ctl.release(r)
 	c.inSystem--
-	recordFinish(c.sink, r, s.Now())
+	c.recBatch = append(c.recBatch, finishRecord(r, s.Now()))
 	c.res.Completed++
 	c.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindFinish, Request: r.wl.ID})
+}
+
+// flushFinishes observes the buffered completion records in order and
+// clears the buffer (dropping its tenant-string references) for reuse.
+func (c *fleetCore) flushFinishes() {
+	if len(c.recBatch) == 0 {
+		return
+	}
+	metrics.ObserveAll(c.sink, c.recBatch)
+	clear(c.recBatch)
+	c.recBatch = c.recBatch[:0]
 }
 
 // haulTo ships a victim's KV cache toward a surviving replica over the
@@ -145,6 +164,9 @@ func newStaticFleet(cfg Config, est *perf.Estimator, pipe *staticPipeline, res *
 		if i < width {
 			rt.state = replicaActive
 		}
+		rt.stepFn = rt.step
+		rt.prefillDoneFn = rt.prefillDone
+		rt.decodeDoneFn = rt.decodeDone
 		f.replicas = append(f.replicas, rt)
 	}
 	return f
@@ -153,7 +175,7 @@ func newStaticFleet(cfg Config, est *perf.Estimator, pipe *staticPipeline, res *
 // runStatic is the shared Run body of the two static-pipeline engines.
 func runStatic(name string, cfg Config, est *perf.Estimator, pipe *staticPipeline, capBytes int64, reqs []workload.Request, horizon float64) (*Result, error) {
 	reqs = workload.Truncate(reqs, cfg.Model.MaxSeqLen) // clamp to the context window
-	sink, rec := cfg.newRunSink()
+	sink, rec := cfg.newRunSink(len(reqs))
 	res := &Result{
 		Engine:        name,
 		Sink:          sink,

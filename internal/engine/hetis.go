@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"hetis/internal/dispatch"
 	"hetis/internal/hardware"
@@ -269,7 +270,7 @@ func (h *Hetis) newInstance(idx int, in parallelizer.Instance, res *Result) (*he
 // Run implements Engine.
 func (h *Hetis) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	reqs = workload.Truncate(reqs, h.cfg.Model.MaxSeqLen) // clamp to the context window
-	sink, rec := h.cfg.newRunSink()
+	sink, rec := h.cfg.newRunSink(len(reqs))
 	res := &Result{
 		Engine:        h.Name(),
 		Sink:          sink,
@@ -622,7 +623,7 @@ func (inst *hetisInstance) tryPrefill(s *sim.Simulator) bool {
 			r.hauled = false
 			inst.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindPrefill, Request: r.wl.ID, Value: float64(r.restartCtx)})
 			if r.done() {
-				inst.finish(s, r)
+				inst.finishDeferred(s, r)
 				continue
 			}
 			// Account the first generated token's KV.
@@ -634,6 +635,7 @@ func (inst *hetisInstance) tryPrefill(s *sim.Simulator) bool {
 			inst.kvExtend(s, r.wl.ID)
 			inst.running = append(inst.running, r)
 		}
+		inst.fleet.flushFinishes()
 		for _, w := range sortedKeys(overflown) {
 			inst.handleMemoryPressure(s, w)
 		}
@@ -761,7 +763,7 @@ func (inst *hetisInstance) afterDecode(s *sim.Simulator) {
 	for _, r := range inst.running {
 		r.generated++
 		if r.done() {
-			inst.finish(s, r)
+			inst.finishDeferred(s, r)
 			continue
 		}
 		over, err := inst.disp.ExtendContext(r.wl.ID, 1)
@@ -774,6 +776,7 @@ func (inst *hetisInstance) afterDecode(s *sim.Simulator) {
 		inst.kvExtend(s, r.wl.ID)
 		still = append(still, r)
 	}
+	inst.fleet.flushFinishes()
 	prev := inst.running
 	inst.running = still
 	prev = prev[:cap(prev)]
@@ -1087,12 +1090,17 @@ func (inst *hetisInstance) applyRedispatch(s *sim.Simulator, rd *dispatch.Redisp
 	}
 }
 
-func (inst *hetisInstance) finish(s *sim.Simulator, r *request) {
+
+// finishDeferred is finish with the sink append batched (see
+// fleetCore.finishDeferred); the iteration loops use it and flush once
+// per batch. The dispatcher/KV release stays inline: later requests in
+// the same loop observe the freed capacity exactly as before.
+func (inst *hetisInstance) finishDeferred(s *sim.Simulator, r *request) {
 	inst.disp.Remove(r.wl.ID)
 	inst.kvFree(r.wl.ID)
 	delete(inst.byID, r.wl.ID)
 	delete(inst.lastMig, r.wl.ID)
-	inst.fleet.finishOne(s, r)
+	inst.fleet.finishDeferred(s, r)
 }
 
 func (inst *hetisInstance) trackPeak() {
@@ -1105,19 +1113,44 @@ func (inst *hetisInstance) trackPeak() {
 	}
 }
 
+// seriesName caches the per-device sampler series names ("heads-3",
+// "cache-7"): sample runs on a timer for the whole horizon, and the small
+// device IDs repeat every tick, so formatting them once is enough.
+var seriesName struct {
+	sync.Mutex
+	heads map[int]string
+	cache map[int]string
+}
+
+// sampleSeriesName returns the cached name for one sampler family,
+// formatting it on first use.
+func sampleSeriesName(byDev *map[int]string, prefix string, dev int) string {
+	seriesName.Lock()
+	defer seriesName.Unlock()
+	if *byDev == nil {
+		*byDev = make(map[int]string)
+	}
+	name, ok := (*byDev)[dev]
+	if !ok {
+		name = fmt.Sprintf("%s-%d", prefix, dev)
+		(*byDev)[dev] = name
+	}
+	return name
+}
+
 // sample records per-device head counts and cache utilization (Fig. 14).
 func (inst *hetisInstance) sample(now float64) {
 	for i, dev := range inst.workerDev {
 		hs, ok := inst.res.HeadSeries[dev]
 		if !ok {
-			hs = &metrics.Series{Name: fmt.Sprintf("heads-%d", dev)}
+			hs = &metrics.Series{Name: sampleSeriesName(&seriesName.heads, "heads", int(dev))}
 			inst.res.HeadSeries[dev] = hs
 		}
 		hs.Append(now, inst.disp.Heads(i))
 
 		cs, ok := inst.res.CacheSeries[dev]
 		if !ok {
-			cs = &metrics.Series{Name: fmt.Sprintf("cache-%d", dev)}
+			cs = &metrics.Series{Name: sampleSeriesName(&seriesName.cache, "cache", int(dev))}
 			inst.res.CacheSeries[dev] = cs
 		}
 		cs.Append(now, inst.kv[i].Utilization()*100)

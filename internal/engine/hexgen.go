@@ -73,6 +73,17 @@ type staticRuntime struct {
 	running []*request
 	byID    map[int64]*request
 	busy    bool
+
+	// Cached loop callbacks and per-iteration scratch: the batching loop
+	// schedules one of these every iteration, and caching the method
+	// values (plus reusing the batch/prompt buffers) makes an iteration
+	// allocation-free — at most one loop event is pending per replica, so
+	// a single buffer per runtime is safe.
+	stepFn        func(*sim.Simulator)
+	prefillDoneFn func(*sim.Simulator)
+	decodeDoneFn  func(*sim.Simulator)
+	prefillBatch  []*request
+	promptBuf     []int
 }
 
 // load is the replica's in-system request count, the routing key.
@@ -83,7 +94,7 @@ func (rt *staticRuntime) kick(s *sim.Simulator) {
 		return
 	}
 	rt.busy = true
-	rt.pending = s.After(0, "hexgen-step", rt.step)
+	rt.pending = s.After(0, "hexgen-step", rt.stepFn)
 }
 
 func (rt *staticRuntime) step(s *sim.Simulator) {
@@ -98,7 +109,7 @@ func (rt *staticRuntime) step(s *sim.Simulator) {
 
 func (rt *staticRuntime) tryPrefill(s *sim.Simulator) bool {
 	cfg := rt.cfg
-	var admitted []*request
+	admitted := rt.prefillBatch[:0]
 	tokens := 0
 	for rt.waiting.len() > 0 &&
 		len(admitted) < cfg.MaxPrefillRequests &&
@@ -126,33 +137,41 @@ func (rt *staticRuntime) tryPrefill(s *sim.Simulator) bool {
 		admitted = append(admitted, r)
 		rt.byID[r.wl.ID] = r
 	}
+	rt.prefillBatch = admitted
 	if len(admitted) == 0 {
 		return false
 	}
-	prompts := make([]int, len(admitted))
-	for i, r := range admitted {
-		prompts[i] = r.prefillLen()
+	prompts := rt.promptBuf[:0]
+	for _, r := range admitted {
+		prompts = append(prompts, r.prefillLen())
 	}
+	rt.promptBuf = prompts
 	dt := rt.pipe.prefillTime(rt.est, cfg, prompts)
-	rt.pending = s.After(dt, "hexgen-prefill", func(s *sim.Simulator) {
-		for _, r := range admitted {
-			if r.firstTok == 0 {
-				r.firstTok = s.Now()
-			}
-			if r.generated == 0 {
-				r.generated = 1
-				rt.used++ // cache of the first generated token
-			}
-			r.hauled = false
-			if r.done() {
-				rt.finish(s, r)
-			} else {
-				rt.running = append(rt.running, r)
-			}
-		}
-		rt.step(s)
-	})
+	rt.pending = s.After(dt, "hexgen-prefill", rt.prefillDoneFn)
 	return true
+}
+
+// prefillDone is the prefill-completion callback over the batch stashed in
+// prefillBatch (only one loop event is ever pending, so the batch cannot
+// be overwritten before it fires).
+func (rt *staticRuntime) prefillDone(s *sim.Simulator) {
+	for _, r := range rt.prefillBatch {
+		if r.firstTok == 0 {
+			r.firstTok = s.Now()
+		}
+		if r.generated == 0 {
+			r.generated = 1
+			rt.used++ // cache of the first generated token
+		}
+		r.hauled = false
+		if r.done() {
+			rt.finishDeferred(s, r)
+		} else {
+			rt.running = append(rt.running, r)
+		}
+	}
+	rt.fleet.flushFinishes()
+	rt.step(s)
 }
 
 // preemptFor evicts strictly-lower-priority running work until ctx tokens
@@ -201,11 +220,14 @@ func (rt *staticRuntime) tryDecode(s *sim.Simulator) bool {
 	dt, dense, attn := rt.pipe.decodeTime(rt.est, rt.cfg, len(rt.running), ctxTokens)
 	rt.res.DenseTimes = append(rt.res.DenseTimes, dense)
 	rt.res.AttnTimes = append(rt.res.AttnTimes, attn)
-	rt.pending = s.After(dt, "hexgen-decode", func(s *sim.Simulator) {
-		rt.afterDecode(s)
-		rt.step(s)
-	})
+	rt.pending = s.After(dt, "hexgen-decode", rt.decodeDoneFn)
 	return true
+}
+
+// decodeDone is the decode-completion callback.
+func (rt *staticRuntime) decodeDone(s *sim.Simulator) {
+	rt.afterDecode(s)
+	rt.step(s)
 }
 
 // victimIdx picks the eviction victim among running requests: globally
@@ -242,12 +264,13 @@ func (rt *staticRuntime) afterDecode(s *sim.Simulator) {
 		r.generated++
 		rt.used++
 		if r.done() {
-			rt.finish(s, r)
+			rt.finishDeferred(s, r)
 			continue
 		}
 		still = append(still, r)
 	}
 	rt.running = still
+	rt.fleet.flushFinishes()
 	// Cache overflow → LIFO preemption with recomputation.
 	for rt.used > rt.pipe.tokenCap && len(rt.running) > 0 {
 		victimIdx := rt.victimIdx()
@@ -267,11 +290,15 @@ func (rt *staticRuntime) afterDecode(s *sim.Simulator) {
 	}
 }
 
-func (rt *staticRuntime) finish(s *sim.Simulator, r *request) {
+// finishDeferred releases the replica's cache accounting and hands the
+// completion to the fleet with the sink append batched (see
+// fleetCore.finishDeferred); the iteration loops use it and flush once
+// per batch.
+func (rt *staticRuntime) finishDeferred(s *sim.Simulator, r *request) {
 	rt.used -= int64(r.contextLen())
 	if rt.used < 0 {
 		rt.used = 0
 	}
 	delete(rt.byID, r.wl.ID)
-	rt.fleet.finishOne(s, r)
+	rt.fleet.finishDeferred(s, r)
 }

@@ -78,7 +78,7 @@ func (sw *Splitwise) DecodeStages() []parallelizer.Stage { return sw.decode.stag
 // Run implements Engine.
 func (sw *Splitwise) Run(reqs []workload.Request, horizon float64) (*Result, error) {
 	reqs = workload.Truncate(reqs, sw.cfg.Model.MaxSeqLen) // clamp to the context window
-	sink, rec := sw.cfg.newRunSink()
+	sink, rec := sw.cfg.newRunSink(len(reqs))
 	res := &Result{
 		Engine:        sw.Name(),
 		Sink:          sink,
@@ -426,11 +426,12 @@ func (rt *splitwiseRuntime) prefillStep(s *sim.Simulator) {
 			rt.res.Trace.Add(trace.Event{At: s.Now(), Kind: trace.KindPrefill, Request: r.wl.ID, Value: float64(r.restartCtx)})
 			if r.done() {
 				rt.inPrefill -= int64(r.restartCtx)
-				rt.fleet.finishOne(s, r)
+				rt.fleet.finishDeferred(s, r)
 				continue
 			}
 			rt.scheduleHandoff(s, r)
 		}
+		rt.fleet.flushFinishes()
 		// The next prefill batch waits for this batch's KV handoffs to
 		// drain the NIC: the phase split forces a full-context cache
 		// transfer per request, which interferes with prefill (§2.3).
@@ -587,12 +588,13 @@ func (rt *splitwiseRuntime) afterDecode(s *sim.Simulator) {
 		rt.usedDecode++
 		if r.done() {
 			rt.usedDecode -= int64(r.contextLen())
-			rt.fleet.finishOne(s, r)
+			rt.fleet.finishDeferred(s, r)
 			continue
 		}
 		still = append(still, r)
 	}
 	rt.running = still
+	rt.fleet.flushFinishes()
 	// Cache overflow → LIFO preemption; victims must re-prefill and
 	// re-transfer.
 	for rt.usedDecode > dec.tokenCap && len(rt.running) > 0 {

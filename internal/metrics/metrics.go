@@ -56,41 +56,113 @@ func (r RequestRecord) NormLatency() float64 {
 	return (r.FinishedAt - r.ArrivalAt) / float64(r.OutputLen)
 }
 
+// recordChunk is the slab size for recorders that did not pre-size: 256
+// records × ~80 B stay under the Go allocator's 32 KB small-object
+// threshold, the same rationale as the engine's request slabs.
+const recordChunk = 256
+
 // Recorder accumulates request records. It is the exact measurement sink
 // (see ExactRecorder): summaries are computed from the stored records, so
 // they are exact at O(n) memory. slo is what Snapshot counts attainment
 // against; the zero value attains everything.
+//
+// Storage is slab-chunked: records land in the open cur chunk, and a full
+// chunk is closed onto full rather than realloc-copied — a megascale run
+// never moves a record after writing it. NewRecorderCap sizes the first
+// chunk to the whole expected run, collapsing the common known-length case
+// to exactly one allocation.
 type Recorder struct {
-	records []RequestRecord
+	full    [][]RequestRecord // closed chunks, immutable once here
+	cur     []RequestRecord   // open chunk, appended in place
+	n       int               // total records across full + cur
+	dropped int               // incremental count of Dropped records
 	slo     SLOTarget
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// NewRecorderCap returns an empty recorder pre-sized for n records, so a
+// run of known length (engines know their request count up front) fills
+// one contiguous slab and never allocates again.
+func NewRecorderCap(n int) *Recorder {
+	if n <= 0 {
+		return &Recorder{}
+	}
+	return &Recorder{cur: make([]RequestRecord, 0, n)}
+}
+
+// recorderFromRecords wraps an existing record slice (PerTenant's
+// sub-recorders). The recorder takes ownership of recs.
+func recorderFromRecords(recs []RequestRecord) *Recorder {
+	c := &Recorder{cur: recs, n: len(recs)}
+	for i := range recs {
+		if recs[i].Dropped {
+			c.dropped++
+		}
+	}
+	return c
+}
+
 // Add appends one finished request.
-func (c *Recorder) Add(r RequestRecord) { c.records = append(c.records, r) }
+func (c *Recorder) Add(r RequestRecord) {
+	if len(c.cur) == cap(c.cur) {
+		if c.cur != nil {
+			c.full = append(c.full, c.cur)
+		}
+		c.cur = make([]RequestRecord, 0, recordChunk)
+	}
+	c.cur = append(c.cur, r)
+	c.n++
+	if r.Dropped {
+		c.dropped++
+	}
+}
+
+// AddBatch appends a batch of finished requests in order — the bulk path
+// engines use when one decode iteration completes several requests.
+func (c *Recorder) AddBatch(recs []RequestRecord) {
+	for _, r := range recs {
+		c.Add(r)
+	}
+}
+
+// chunks exposes the storage as a slice of chunks for iteration. The
+// returned chunk list is freshly built when an open chunk exists, so
+// callers may not hold it across Adds.
+func (c *Recorder) chunks() [][]RequestRecord {
+	if len(c.cur) == 0 {
+		return c.full
+	}
+	return append(c.full[:len(c.full):len(c.full)], c.cur)
+}
 
 // Count reports the number of recorded requests — completed plus dropped.
-func (c *Recorder) Count() int { return len(c.records) }
+func (c *Recorder) Count() int { return c.n }
 
 // Completed reports the recorded requests that actually finished (Count
 // minus dropped).
-func (c *Recorder) Completed() int { return len(c.records) - c.DroppedCount() }
+func (c *Recorder) Completed() int { return c.n - c.dropped }
 
 // DroppedCount reports the recorded requests the system dropped.
-func (c *Recorder) DroppedCount() int {
-	n := 0
-	for _, r := range c.records {
-		if r.Dropped {
-			n++
-		}
-	}
-	return n
-}
+func (c *Recorder) DroppedCount() int { return c.dropped }
 
-// Records returns the raw records (caller must not mutate).
-func (c *Recorder) Records() []RequestRecord { return c.records }
+// Records returns the records in insertion order as one stitched slice.
+// The slice is a copy when the recorder spans multiple chunks; callers
+// must not mutate it either way.
+func (c *Recorder) Records() []RequestRecord {
+	if c.n == 0 {
+		return nil
+	}
+	if len(c.full) == 0 {
+		return c.cur
+	}
+	out := make([]RequestRecord, 0, c.n)
+	for _, ch := range c.chunks() {
+		out = append(out, ch...)
+	}
+	return out
+}
 
 // Summary aggregates a metric over the records.
 type Summary struct {
@@ -104,12 +176,14 @@ type Summary struct {
 // records are skipped: they never produced the measured latencies, and a
 // zero TTFT from a rejected request would flatter the percentiles.
 func (c *Recorder) Summarize(f func(RequestRecord) float64) Summary {
-	vals := make([]float64, 0, len(c.records))
-	for _, r := range c.records {
-		if r.Dropped {
-			continue
+	vals := make([]float64, 0, c.Completed())
+	for _, ch := range c.chunks() {
+		for _, r := range ch {
+			if r.Dropped {
+				continue
+			}
+			vals = append(vals, f(r))
 		}
-		vals = append(vals, f(r))
 	}
 	return SummarizeValues(vals)
 }
@@ -145,14 +219,16 @@ func (c *Recorder) Summaries() (ttft, tpot, norm Summary) {
 	buf := make([]float64, 3*n)
 	tv, pv, nv := buf[:n:n], buf[n:2*n:2*n], buf[2*n:]
 	i := 0
-	for _, r := range c.records {
-		if r.Dropped {
-			continue
+	for _, ch := range c.chunks() {
+		for _, r := range ch {
+			if r.Dropped {
+				continue
+			}
+			tv[i] = r.TTFT()
+			pv[i] = r.TPOT()
+			nv[i] = r.NormLatency()
+			i++
 		}
-		tv[i] = r.TTFT()
-		pv[i] = r.TPOT()
-		nv[i] = r.NormLatency()
-		i++
 	}
 	return summarizeSorted(tv), summarizeSorted(pv), summarizeSorted(nv)
 }

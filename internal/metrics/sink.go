@@ -54,6 +54,32 @@ func (s Snapshot) Goodput(horizon float64) float64 {
 	return float64(s.Attained) / horizon
 }
 
+// BatchSink is the optional bulk extension of Sink: a sink that can absorb
+// a whole iteration's records in one call. Engines batch the completions
+// of each decode iteration; ObserveAll picks this path when available.
+// Implementations must process the batch in slice order, exactly as if
+// each record were Observed individually.
+type BatchSink interface {
+	Sink
+	// ObserveBatch records the batch in order.
+	ObserveBatch([]RequestRecord)
+}
+
+// ObserveAll feeds recs to the sink in order, through the sink's batch
+// path when it has one. The caller keeps ownership of recs.
+func ObserveAll(s Sink, recs []RequestRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	if b, ok := s.(BatchSink); ok {
+		b.ObserveBatch(recs)
+		return
+	}
+	for _, r := range recs {
+		s.Observe(r)
+	}
+}
+
 // ExactRecorder is the store-everything Sink: the Recorder under its
 // sink-architecture name. It keeps every RequestRecord, so summaries are
 // exact and golden traces stay byte-identical, at O(n) memory.
@@ -67,6 +93,9 @@ func NewExactRecorder(slo SLOTarget) *ExactRecorder {
 
 // Observe implements Sink.
 func (c *Recorder) Observe(r RequestRecord) { c.Add(r) }
+
+// ObserveBatch implements BatchSink.
+func (c *Recorder) ObserveBatch(recs []RequestRecord) { c.AddBatch(recs) }
 
 // Snapshot implements Sink, using the bulk Summaries path.
 func (c *Recorder) Snapshot() Snapshot {

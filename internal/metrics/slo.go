@@ -38,9 +38,11 @@ func (s SLOTarget) Attained(r RequestRecord) bool {
 // Attained counts the recorded requests meeting the SLO.
 func (c *Recorder) Attained(slo SLOTarget) int {
 	n := 0
-	for _, r := range c.records {
-		if slo.Attained(r) {
-			n++
+	for _, ch := range c.chunks() {
+		for _, r := range ch {
+			if slo.Attained(r) {
+				n++
+			}
 		}
 	}
 	return n
@@ -57,10 +59,10 @@ func (c *Recorder) Attained(slo SLOTarget) int {
 // their eventual completion — so a preemption costs latency, not a
 // denominator slot.
 func (c *Recorder) Attainment(slo SLOTarget) float64 {
-	if len(c.records) == 0 {
+	if c.n == 0 {
 		return 0
 	}
-	return float64(c.Attained(slo)) / float64(len(c.records))
+	return float64(c.Attained(slo)) / float64(c.n)
 }
 
 // Goodput is the rate of SLO-attaining completions over the horizon,
@@ -90,8 +92,10 @@ type TenantStats struct {
 // empty single-tenant name sorts first).
 func (c *Recorder) Tenants() []string {
 	seen := map[string]bool{}
-	for _, r := range c.records {
-		seen[r.Tenant] = true
+	for _, ch := range c.chunks() {
+		for _, r := range ch {
+			seen[r.Tenant] = true
+		}
 	}
 	out := make([]string, 0, len(seen))
 	for t := range seen {
@@ -104,13 +108,14 @@ func (c *Recorder) Tenants() []string {
 // PerTenant breaks the run down by tenant, sorted by tenant name.
 func (c *Recorder) PerTenant(slo SLOTarget, horizon float64) []TenantStats {
 	byTenant := map[string][]RequestRecord{}
-	for _, r := range c.records {
-		byTenant[r.Tenant] = append(byTenant[r.Tenant], r)
+	for _, ch := range c.chunks() {
+		for _, r := range ch {
+			byTenant[r.Tenant] = append(byTenant[r.Tenant], r)
+		}
 	}
 	out := make([]TenantStats, 0, len(byTenant))
 	for _, name := range c.Tenants() {
-		recs := byTenant[name]
-		sub := Recorder{records: recs}
+		sub := recorderFromRecords(byTenant[name])
 		ttft, tpot, norm := sub.Summaries()
 		out = append(out, TenantStats{
 			Tenant:     name,

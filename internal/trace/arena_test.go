@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// arenaKinds is the kind alphabet the differential tests draw from.
+var arenaKinds = []Kind{
+	KindArrival, KindPrefill, KindDecode, KindDispatch, KindFinish,
+	KindMigration, KindEviction, KindSample, KindDrop,
+}
+
+// TestArenaMatchesReferenceLog drives the paged arena and the frozen
+// flat-slice oracle with the same random Add/Addf stream — long enough to
+// cross several page boundaries — and requires every query to agree.
+func TestArenaMatchesReferenceLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := &Log{}
+	ref := &referenceLog{}
+	n := 3*pageEvents + 417 // four pages, last one partial
+	for i := 0; i < n; i++ {
+		ev := Event{
+			At:      rng.Float64() * 100,
+			Kind:    arenaKinds[rng.Intn(len(arenaKinds))],
+			Request: int64(rng.Intn(512)),
+			Device:  rng.Intn(8),
+			Value:   float64(rng.Intn(1000)),
+		}
+		switch i % 3 {
+		case 0:
+			l.Add(ev)
+			ref.refAdd(ev)
+		case 1:
+			l.Addf(ev.At, ev.Kind, ev.Request, ev.Device, ev.Value, "static note")
+			ref.refAddf(ev.At, ev.Kind, ev.Request, ev.Device, ev.Value, "static note")
+		default:
+			l.Addf(ev.At, ev.Kind, ev.Request, ev.Device, ev.Value, "dev=%d", ev.Device)
+			ref.refAddf(ev.At, ev.Kind, ev.Request, ev.Device, ev.Value, "dev=%d", ev.Device)
+		}
+	}
+	if l.Len() != ref.refLen() {
+		t.Fatalf("Len: arena %d, oracle %d", l.Len(), ref.refLen())
+	}
+	if !reflect.DeepEqual(l.Events(), ref.refEvents()) {
+		t.Fatal("Events diverged from the flat-slice oracle")
+	}
+	for _, k := range arenaKinds {
+		if got, want := l.Count(k), ref.refCount(k); got != want {
+			t.Fatalf("Count(%s): arena %d, oracle %d", k, got, want)
+		}
+		if !reflect.DeepEqual(l.Filter(k), ref.refFilter(k)) {
+			t.Fatalf("Filter(%s) diverged", k)
+		}
+		if got, want := l.SumValues(k), ref.refSumValues(k); got != want {
+			t.Fatalf("SumValues(%s): arena %g, oracle %g", k, got, want)
+		}
+	}
+	if !reflect.DeepEqual(l.KindCounts(), ref.refKindCounts()) {
+		t.Fatal("KindCounts diverged")
+	}
+	gf, gl := l.Span()
+	wf, wl := ref.refSpan()
+	if gf != wf || gl != wl {
+		t.Fatalf("Span: arena (%g,%g), oracle (%g,%g)", gf, gl, wf, wl)
+	}
+	// Each must visit the same sequence Events returns, and honor early
+	// stop.
+	var walked []Event
+	l.Each(func(ev Event) bool {
+		walked = append(walked, ev)
+		return true
+	})
+	if !reflect.DeepEqual(walked, ref.refEvents()) {
+		t.Fatal("Each diverged from the oracle order")
+	}
+	steps := 0
+	l.Each(func(Event) bool {
+		steps++
+		return steps < 5
+	})
+	if steps != 5 {
+		t.Fatalf("Each ignored early stop: %d steps", steps)
+	}
+}
+
+// TestWriteJSONLMatchesReference is the output-equivalence check for the
+// buffered single-encoder writer: byte-identical JSONL against the frozen
+// per-event encoder across page boundaries.
+func TestWriteJSONLMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	l := &Log{}
+	ref := &referenceLog{}
+	for i := 0; i < pageEvents+123; i++ {
+		ev := Event{
+			At:      rng.Float64() * 10,
+			Kind:    arenaKinds[rng.Intn(len(arenaKinds))],
+			Request: int64(i),
+			Device:  rng.Intn(4),
+			Value:   rng.Float64(),
+			Note:    "",
+		}
+		if i%7 == 0 {
+			ev.Note = "annotated"
+		}
+		l.Add(ev)
+		ref.refAdd(ev)
+	}
+	var got, want bytes.Buffer
+	if err := l.WriteJSONL(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.refWriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("buffered JSONL output differs from the reference encoder")
+	}
+}
+
+// TestReleaseRecyclesWithoutAliasing proves the pool contract: a released
+// log's pages return to the free list, a new log reuses them, and views
+// taken from the first log before release stay intact — stitched copies
+// must not alias recycled storage.
+func TestReleaseRecyclesWithoutAliasing(t *testing.T) {
+	ResetPagePool()
+	defer ResetPagePool()
+
+	first := &Log{}
+	n := 2*pageEvents + 57
+	for i := 0; i < n; i++ {
+		first.Add(Event{At: float64(i), Kind: KindDecode, Request: int64(i), Note: "first-run"})
+	}
+	snapshot := first.Events()
+	filtered := first.Filter(KindDecode)
+
+	first.Release()
+	if first.Len() != 0 || first.Events() != nil {
+		t.Fatalf("release should empty the log: len=%d", first.Len())
+	}
+	if got := pagePoolLen(); got != 3 {
+		t.Fatalf("pool holds %d pages after release, want 3", got)
+	}
+
+	second := &Log{}
+	for i := 0; i < n; i++ {
+		second.Add(Event{At: float64(-i), Kind: KindPrefill, Request: int64(i + 1000), Note: "second-run"})
+	}
+	if got := pagePoolLen(); got != 0 {
+		t.Fatalf("second log should have drained the pool, %d pages left", got)
+	}
+
+	// The first log's views predate the recycle and must be untouched.
+	for i, ev := range snapshot {
+		if ev.At != float64(i) || ev.Kind != KindDecode || ev.Note != "first-run" {
+			t.Fatalf("snapshot[%d] corrupted by page reuse: %+v", i, ev)
+		}
+	}
+	if len(filtered) != n || filtered[n-1].Request != int64(n-1) {
+		t.Fatalf("filtered view corrupted by page reuse: len=%d", len(filtered))
+	}
+	if second.Len() != n || second.Count(KindPrefill) != n {
+		t.Fatalf("recycled log miscounts: len=%d", second.Len())
+	}
+
+	// Releasing the second log must zero recycled contents: pooled pages
+	// may not pin the previous run's note strings.
+	second.Release()
+	p := pagePool.free
+	for p != nil {
+		for i := range p.ev {
+			if p.ev[i] != (Event{}) {
+				t.Fatalf("pooled page retains event %+v", p.ev[i])
+			}
+		}
+		p = p.next
+	}
+}
+
+// TestReleaseRespectsPoolCap fills the pool past its cap and checks the
+// overflow is dropped for the GC rather than retained forever.
+func TestReleaseRespectsPoolCap(t *testing.T) {
+	ResetPagePool()
+	defer ResetPagePool()
+
+	l := &Log{}
+	for i := 0; i < (poolCapPages+2)*pageEvents; i++ {
+		l.Add(Event{At: float64(i), Kind: KindSample})
+	}
+	l.Release()
+	if got := pagePoolLen(); got != poolCapPages {
+		t.Fatalf("pool holds %d pages, cap is %d", got, poolCapPages)
+	}
+	var nilLog *Log
+	nilLog.Release() // nil-safety
+}

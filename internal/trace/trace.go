@@ -3,12 +3,20 @@
 // evictions); experiments replay them to build time series such as Fig. 14's
 // per-device cache-usage and head-count curves, and a JSONL writer dumps
 // them for offline inspection.
+//
+// Storage is a paged arena: events land in fixed-size pages chained into a
+// list, so appending never realloc-copies the whole log the way a flat
+// slice does (at megascale that was hundreds of MB of copy traffic per
+// run), and retired logs hand their pages back to a process-level free
+// list for the next run to reuse.
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Kind labels an event type.
@@ -50,10 +58,85 @@ type Event struct {
 	Note string `json:"note,omitempty"`
 }
 
+// pageEvents is the arena page size. 4096 events × 64 B/event keeps each
+// page at 256 KB — large enough that the page-boundary branch in Add is
+// one miss in four thousand, small enough that a short run wastes at most
+// one page.
+const pageEvents = 4096
+
+// poolCapPages bounds the process-level free list: 1024 pages retain at
+// most 256 MB, sized so one released megascale trace (~870 pages) fits and
+// the next repeat of the benchmark suite allocates nothing.
+const poolCapPages = 1024
+
+// page is one fixed-size arena block. Pages chain through next both inside
+// a live log and on the free list.
+type page struct {
+	next *page
+	n    int
+	ev   [pageEvents]Event
+}
+
+// pagePool is the process-level free list. A mutex (not sync.Pool) keeps
+// reuse deterministic and survivable across GC cycles: concurrent sweep
+// workers contend only once per 4096 events.
+var pagePool struct {
+	sync.Mutex
+	free *page
+	n    int
+}
+
+// getPage pops a pooled page or allocates a fresh one.
+func getPage() *page {
+	pagePool.Lock()
+	p := pagePool.free
+	if p != nil {
+		pagePool.free = p.next
+		pagePool.n--
+	}
+	pagePool.Unlock()
+	if p == nil {
+		return new(page)
+	}
+	p.next = nil
+	return p
+}
+
+// ResetPagePool drops every pooled page so the garbage collector can
+// reclaim them. Memory measurements call it to keep retained pool pages
+// out of live-heap baselines; ordinary code never needs it.
+func ResetPagePool() {
+	pagePool.Lock()
+	pagePool.free = nil
+	pagePool.n = 0
+	pagePool.Unlock()
+}
+
+// pagePoolLen reports the pooled page count (test hook).
+func pagePoolLen() int {
+	pagePool.Lock()
+	defer pagePool.Unlock()
+	return pagePool.n
+}
+
 // Log accumulates events in memory. The zero value is ready to use. A nil
 // *Log discards everything, so engines can trace unconditionally.
 type Log struct {
-	events []Event
+	head *page
+	tail *page
+	n    int
+}
+
+// grow links a fresh (or recycled) page at the tail.
+func (l *Log) grow() *page {
+	p := getPage()
+	if l.tail == nil {
+		l.head = p
+	} else {
+		l.tail.next = p
+	}
+	l.tail = p
+	return p
 }
 
 // Add appends an event. Safe on a nil receiver (no-op).
@@ -61,10 +144,18 @@ func (l *Log) Add(ev Event) {
 	if l == nil {
 		return
 	}
-	l.events = append(l.events, ev)
+	p := l.tail
+	if p == nil || p.n == pageEvents {
+		p = l.grow()
+	}
+	p.ev[p.n] = ev
+	p.n++
+	l.n++
 }
 
-// Addf is a convenience constructor-and-append.
+// Addf is a convenience constructor-and-append. A format string with no
+// args is stored verbatim — the hot-path contract: engines pass static
+// notes and pay nothing for formatting.
 func (l *Log) Addf(at float64, kind Kind, req int64, dev int, value float64, format string, args ...any) {
 	if l == nil {
 		return
@@ -73,15 +164,63 @@ func (l *Log) Addf(at float64, kind Kind, req int64, dev int, value float64, for
 	if len(args) > 0 {
 		note = fmt.Sprintf(format, args...)
 	}
-	l.events = append(l.events, Event{At: at, Kind: kind, Request: req, Device: dev, Value: value, Note: note})
+	l.Add(Event{At: at, Kind: kind, Request: req, Device: dev, Value: value, Note: note})
 }
 
-// Events returns the recorded events in emission order. Nil-safe.
-func (l *Log) Events() []Event {
+// Release zeroes the log's events, returns its pages to the process free
+// list (up to the pool cap), and resets the log to empty. Views previously
+// returned by Events or Filter are copies and stay valid; the zeroing
+// guarantees a recycled page can never leak a prior run's notes and keeps
+// pooled pages from pinning dead strings. Nil-safe.
+func (l *Log) Release() {
+	if l == nil || l.head == nil {
+		return
+	}
+	head := l.head
+	for p := head; p != nil; p = p.next {
+		clear(p.ev[:p.n])
+		p.n = 0
+	}
+	l.head, l.tail, l.n = nil, nil, 0
+	pagePool.Lock()
+	for p := head; p != nil && pagePool.n < poolCapPages; {
+		next := p.next
+		p.next = pagePool.free
+		pagePool.free = p
+		pagePool.n++
+		p = next
+	}
+	pagePool.Unlock()
+}
+
+// Each calls fn for every event in emission order, stopping early when fn
+// returns false — iteration without materializing the stitched copy
+// Events builds. Nil-safe.
+func (l *Log) Each(fn func(Event) bool) {
 	if l == nil {
+		return
+	}
+	for p := l.head; p != nil; p = p.next {
+		for i := range p.ev[:p.n] {
+			if !fn(p.ev[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Events returns the recorded events in emission order as one stitched
+// slice. The slice is a copy: it stays valid after the log is released and
+// its pages recycled. Nil-safe.
+func (l *Log) Events() []Event {
+	if l == nil || l.n == 0 {
 		return nil
 	}
-	return l.events
+	out := make([]Event, 0, l.n)
+	for p := l.head; p != nil; p = p.next {
+		out = append(out, p.ev[:p.n]...)
+	}
+	return out
 }
 
 // Len reports the event count. Nil-safe.
@@ -89,7 +228,7 @@ func (l *Log) Len() int {
 	if l == nil {
 		return 0
 	}
-	return len(l.events)
+	return l.n
 }
 
 // Filter returns the events matching the kind, preserving order.
@@ -98,9 +237,11 @@ func (l *Log) Filter(kind Kind) []Event {
 		return nil
 	}
 	var out []Event
-	for _, ev := range l.events {
-		if ev.Kind == kind {
-			out = append(out, ev)
+	for p := l.head; p != nil; p = p.next {
+		for i := range p.ev[:p.n] {
+			if p.ev[i].Kind == kind {
+				out = append(out, p.ev[i])
+			}
 		}
 	}
 	return out
@@ -112,24 +253,33 @@ func (l *Log) Count(kind Kind) int {
 		return 0
 	}
 	n := 0
-	for _, ev := range l.events {
-		if ev.Kind == kind {
-			n++
+	for p := l.head; p != nil; p = p.next {
+		for i := range p.ev[:p.n] {
+			if p.ev[i].Kind == kind {
+				n++
+			}
 		}
 	}
 	return n
 }
 
-// WriteJSONL streams the log as one JSON object per line.
+// WriteJSONL streams the log as one JSON object per line through a single
+// buffered encoder.
 func (l *Log) WriteJSONL(w io.Writer) error {
 	if l == nil {
 		return nil
 	}
-	enc := json.NewEncoder(w)
-	for _, ev := range l.events {
-		if err := enc.Encode(ev); err != nil {
-			return fmt.Errorf("trace: encode: %w", err)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	for p := l.head; p != nil; p = p.next {
+		for i := range p.ev[:p.n] {
+			if err := enc.Encode(&p.ev[i]); err != nil {
+				return fmt.Errorf("trace: encode: %w", err)
+			}
 		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
 	}
 	return nil
 }
@@ -145,7 +295,7 @@ func ReadJSONL(r io.Reader) (*Log, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("trace: decode: %w", err)
 		}
-		l.events = append(l.events, ev)
+		l.Add(ev)
 	}
 }
 
@@ -155,25 +305,30 @@ func (l *Log) KindCounts() map[Kind]int {
 		return nil
 	}
 	out := make(map[Kind]int)
-	for _, ev := range l.events {
-		out[ev.Kind]++
+	for p := l.head; p != nil; p = p.next {
+		for i := range p.ev[:p.n] {
+			out[p.ev[i].Kind]++
+		}
 	}
 	return out
 }
 
 // Span returns the first and last event timestamps (0, 0 when empty).
 func (l *Log) Span() (first, last float64) {
-	if l == nil || len(l.events) == 0 {
+	if l == nil || l.n == 0 {
 		return 0, 0
 	}
-	first = l.events[0].At
-	last = l.events[0].At
-	for _, ev := range l.events[1:] {
-		if ev.At < first {
-			first = ev.At
-		}
-		if ev.At > last {
-			last = ev.At
+	first = l.head.ev[0].At
+	last = first
+	for p := l.head; p != nil; p = p.next {
+		for i := range p.ev[:p.n] {
+			at := p.ev[i].At
+			if at < first {
+				first = at
+			}
+			if at > last {
+				last = at
+			}
 		}
 	}
 	return first, last
@@ -186,9 +341,11 @@ func (l *Log) SumValues(kind Kind) float64 {
 		return 0
 	}
 	var sum float64
-	for _, ev := range l.events {
-		if ev.Kind == kind {
-			sum += ev.Value
+	for p := l.head; p != nil; p = p.next {
+		for i := range p.ev[:p.n] {
+			if p.ev[i].Kind == kind {
+				sum += p.ev[i].Value
+			}
 		}
 	}
 	return sum

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -92,8 +93,12 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	benchMicro := fs.Bool("bench-micro", true, "include micro-benchmarks in -bench (adds a few seconds)")
 	benchNoWarm := fs.Bool("bench-nowarm", false, "run -bench with the LP warm-start layer disabled (records the pre-warm-start baseline; decisions are identical)")
 	benchSinks := fs.Bool("bench-sinks", true, "include the exact-vs-streaming sink comparison in -bench (runs megascale twice; adds ~15s full-scale)")
+	benchFleet := fs.Bool("bench-fleet", true, "include the fleet shard-scaling section in -bench (runs gigascale at several worker counts)")
+	benchFleetScen := fs.String("bench-fleet-scenario", "", "sharded scenario the -bench fleet section measures (default gigascale)")
+	benchFleetWorkers := fs.String("bench-fleet-workers", "", "comma-separated shard-worker counts the -bench fleet section sweeps (default 1,2,4,8)")
 	stream := fs.Bool("stream", false, "measure through constant-memory streaming sinks (grid, scenario, bench modes)")
 	windows := fs.Float64("windows", 0, "with -stream -scenario: also print windowed time series with this bucket width in seconds")
+	shardWorkers := fs.Int("shard-workers", 0, "max concurrent shards within a fleet scenario (0 = one per CPU; output is identical at every value)")
 
 	// Parse in rounds so flags and bare key=value grid dimensions can
 	// interleave: the flag package stops at the first non-flag argument,
@@ -156,7 +161,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	}
 
 	start := time.Now()
-	pool := hetis.SweepOptions{Jobs: *jobs, Cache: hetis.NewSweepCache()}
+	pool := hetis.SweepOptions{Jobs: *jobs, Cache: hetis.NewSweepCache(), ShardWorkers: *shardWorkers}
 	switch {
 	case *benchMode:
 		// The harness runs sequentially (stable wall-clock) with the
@@ -164,7 +169,12 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if *seed != 0 || *csv || *jobs != 0 {
 			return usageError("-seed, -csv and -jobs do not apply to -bench")
 		}
-		if err := runPerfBench(stdout, stderr, *scen, *quick, *repeat, *stream, *benchNoWarm, *benchOut, *benchBase, *benchMicro, *benchSinks); err != nil {
+		fleetWorkers, err := parseWorkerList(*benchFleetWorkers)
+		if err != nil {
+			return usageError("-bench-fleet-workers: %v", err)
+		}
+		if err := runPerfBench(stdout, stderr, *scen, *quick, *repeat, *stream, *benchNoWarm, *benchOut, *benchBase,
+			*benchMicro, *benchSinks, *benchFleet, *benchFleetScen, fleetWorkers); err != nil {
 			return err
 		}
 	case len(gridDims) > 0:
@@ -231,8 +241,12 @@ func run(argv []string, stdout, stderr io.Writer) error {
 
 // runPerfBench executes the perf-trajectory harness and writes BENCH.json. A
 // summary table goes to stdout so humans see the numbers the file records.
-func runPerfBench(stdout, stderr io.Writer, scen string, quick bool, repeat int, stream, noWarm bool, outPath, basePath string, micro, sinks bool) error {
-	opts := hetis.BenchOptions{Quick: quick, Repeat: repeat, Stream: stream, NoWarm: noWarm, SkipMicro: !micro, SkipSinks: !sinks}
+func runPerfBench(stdout, stderr io.Writer, scen string, quick bool, repeat int, stream, noWarm bool, outPath, basePath string, micro, sinks, fleet bool, fleetScen string, fleetWorkers []int) error {
+	opts := hetis.BenchOptions{
+		Quick: quick, Repeat: repeat, Stream: stream, NoWarm: noWarm,
+		SkipMicro: !micro, SkipSinks: !sinks,
+		SkipFleet: !fleet, FleetScenario: fleetScen, FleetWorkers: fleetWorkers,
+	}
 	if scen != "" && scen != "all" {
 		opts.Scenarios = strings.Split(scen, ",")
 	}
@@ -286,12 +300,36 @@ func runPerfBench(stdout, stderr io.Writer, scen string, quick bool, repeat int,
 		fmt.Fprintf(stdout, "sinks: %s/%s %-9s  %7.3fs wall  %5.2f allocs/ev  live heap %+.1f MB\n",
 			sb.Scenario, sb.Engine, sb.Sink, sb.WallSeconds, sb.AllocsPerEvent, float64(sb.LiveHeapBytes)/1e6)
 	}
+	if fs := rep.Fleet; fs != nil {
+		for _, row := range fs.Rows {
+			fmt.Fprintf(stdout, "fleet: %s/%s %d shards  %d workers  %7.3fs wall  %.0f events/s  %.2fx vs 1  live heap %+.1f MB\n",
+				fs.Scenario, fs.Engine, fs.Shards, row.ShardWorkers, row.WallSeconds,
+				row.EventsPerSec, row.SpeedupVs1, float64(row.LiveHeapBytes)/1e6)
+		}
+	}
 	if rep.Baseline != nil {
 		fmt.Fprintf(stdout, "speedup vs baseline: %.2fx (%.3fs -> %.3fs)\n",
 			rep.SpeedupVsBaseline, rep.Baseline.WallSeconds, rep.Suite.WallSeconds)
 	}
 	fmt.Fprintf(stderr, "hetisbench: wrote %s\n", outPath)
 	return nil
+}
+
+// parseWorkerList parses a comma-separated list of positive shard-worker
+// counts; empty means the harness default.
+func parseWorkerList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func emit(w io.Writer, tab *hetis.Table, csv bool) {
@@ -309,8 +347,12 @@ func scenarioTag(name string) string {
 	switch {
 	case err != nil:
 		return ""
+	case s.Heavy && s.Sharded():
+		return " [heavy] [fleet]"
 	case s.Heavy:
 		return " [heavy]"
+	case s.Sharded():
+		return " [fleet]"
 	case s.Chaotic():
 		return " [chaos]"
 	}

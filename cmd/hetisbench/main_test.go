@@ -94,7 +94,7 @@ func TestScenarioOutputJobsIndependent(t *testing.T) {
 // scenario, report written where asked, summary on stdout.
 func TestBenchModeWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
-	stdout, err := runBench(t, "-bench", "-scenario", "steady", "-quick", "-bench-micro=false", "-bench-out", out)
+	stdout, err := runBench(t, "-bench", "-scenario", "steady", "-quick", "-bench-micro=false", "-bench-fleet=false", "-bench-out", out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,16 +109,19 @@ func TestBenchModeWritesReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"schema": "hetis-bench/3"`) {
+	if !strings.Contains(string(data), `"schema": "hetis-bench/4"`) {
 		t.Errorf("report missing schema:\n%s", data)
 	}
 	if !strings.Contains(string(data), `"warm_start_rate"`) {
 		t.Errorf("report missing lp section:\n%s", data)
 	}
+	if !strings.Contains(string(data), `"gomaxprocs"`) {
+		t.Errorf("report missing gomaxprocs:\n%s", data)
+	}
 
 	// A second run using the first as baseline reports a speedup factor.
 	out2 := filepath.Join(t.TempDir(), "BENCH2.json")
-	stdout2, err := runBench(t, "-bench", "-scenario", "steady", "-quick", "-bench-micro=false",
+	stdout2, err := runBench(t, "-bench", "-scenario", "steady", "-quick", "-bench-micro=false", "-bench-fleet=false",
 		"-bench-baseline", out, "-bench-out", out2)
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +137,7 @@ func TestBenchModeWritesReport(t *testing.T) {
 func TestBenchNoWarmRecordsBaselineMode(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH-nowarm.json")
 	stdout, err := runBench(t, "-bench", "-scenario", "steady", "-quick", "-bench-micro=false",
-		"-bench-sinks=false", "-bench-nowarm", "-bench-out", out)
+		"-bench-sinks=false", "-bench-fleet=false", "-bench-nowarm", "-bench-out", out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,12 +153,56 @@ func TestBenchNoWarmRecordsBaselineMode(t *testing.T) {
 	}
 	out2 := filepath.Join(t.TempDir(), "BENCH-warm.json")
 	stdout2, err := runBench(t, "-bench", "-scenario", "steady", "-quick", "-bench-micro=false",
-		"-bench-sinks=false", "-bench-baseline", out, "-bench-out", out2)
+		"-bench-sinks=false", "-bench-fleet=false", "-bench-baseline", out, "-bench-out", out2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(stdout2, "speedup vs baseline:") {
 		t.Errorf("warm-vs-nowarm baseline comparison missing:\n%s", stdout2)
+	}
+}
+
+// TestBenchFleetSection smokes the shard-scaling section through the CLI:
+// the cheap registered fleet scenario at two worker counts, fleet rows on
+// stdout, and the fleet section in the written report.
+func TestBenchFleetSection(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH-fleet.json")
+	stdout, err := runBench(t, "-bench", "-scenario", "steady", "-quick", "-bench-micro=false", "-bench-sinks=false",
+		"-bench-fleet-scenario", "fleet", "-bench-fleet-workers", "1,2", "-bench-out", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "fleet: fleet/hetis 4 shards") {
+		t.Errorf("bench summary missing fleet rows:\n%s", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"fleet"`, `"shard_workers": 1`, `"shard_workers": 2`, `"speedup_vs_1"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("fleet report missing %s:\n%s", want, data)
+		}
+	}
+	if _, err := runBench(t, "-bench", "-quick", "-bench-fleet-workers", "0,x"); err == nil {
+		t.Error("bad -bench-fleet-workers should error")
+	}
+}
+
+// TestScenarioShardWorkersIndependent is the CLI face of the fleet
+// determinism contract: a sharded scenario's CSV is byte-identical at
+// every -shard-workers value.
+func TestScenarioShardWorkersIndependent(t *testing.T) {
+	one, err := runBench(t, "-scenario", "fleet", "-quick", "-csv", "-shard-workers", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := runBench(t, "-scenario", "fleet", "-quick", "-csv", "-shard-workers", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != four {
+		t.Errorf("-scenario fleet differs between -shard-workers 1 and 4:\n--- 1\n%s--- 4\n%s", one, four)
 	}
 }
 

@@ -52,6 +52,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced-scale traces for fast runs")
 	stream := fs.Bool("stream", false, "with -scenario: measure through constant-memory streaming sinks")
 	windows := fs.Float64("windows", 0, "with -scenario -stream: also print windowed time series with this bucket width in seconds")
+	shardWorkers := fs.Int("shard-workers", 0, "max concurrent shards within a fleet scenario (0 = one per CPU; output is identical at every value)")
 	list := fs.Bool("list", false, "list experiment ids and scenarios, then exit")
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -89,7 +90,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	}
 
 	if *scen != "" {
-		return runScenarios(stdout, strings.Split(*scen, ","), *quick, *stream, *windows)
+		return runScenarios(stdout, strings.Split(*scen, ","), *quick, *stream, *windows, *shardWorkers)
+	}
+	if *shardWorkers != 0 {
+		fmt.Fprintln(stderr, "error: -shard-workers applies to -scenario runs")
+		return errUsage
 	}
 
 	ids := []string{*exp}
@@ -111,17 +116,18 @@ func run(argv []string, stdout, stderr io.Writer) error {
 // runScenarios serves the named scenarios, exact or streaming, printing
 // the catalog-ordered table and (with windows > 0) each run's windowed
 // time series.
-func runScenarios(stdout io.Writer, names []string, quick, stream bool, windows float64) error {
+func runScenarios(stdout io.Writer, names []string, quick, stream bool, windows float64, shardWorkers int) error {
 	start := time.Now()
+	pool := hetis.SweepOptions{ShardWorkers: shardWorkers}
 	if !stream {
-		tab, err := hetis.RunScenarios(names, quick, 0, hetis.SweepOptions{})
+		tab, err := hetis.RunScenarios(names, quick, 0, pool)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "=== scenarios (%.2fs) ===\n%s", time.Since(start).Seconds(), tab)
 		return nil
 	}
-	tab, wins, err := hetis.RunScenariosStream(names, quick, 0, windows, hetis.SweepOptions{})
+	tab, wins, err := hetis.RunScenariosStream(names, quick, 0, windows, pool)
 	if err != nil {
 		return err
 	}
@@ -139,8 +145,12 @@ func scenarioTag(name string) string {
 	switch {
 	case err != nil:
 		return ""
+	case s.Heavy && s.Sharded():
+		return " [heavy] [fleet]"
 	case s.Heavy:
 		return " [heavy]"
+	case s.Sharded():
+		return " [fleet]"
 	case s.Chaotic():
 		return " [chaos]"
 	}

@@ -37,6 +37,7 @@ import (
 	"hetis/internal/bench"
 	"hetis/internal/engine"
 	"hetis/internal/experiments"
+	"hetis/internal/fleet"
 	"hetis/internal/hardware"
 	"hetis/internal/metrics"
 	"hetis/internal/model"
@@ -408,6 +409,23 @@ type ScenarioAutoscale = scenario.AutoscaleSpec
 // preemption priority, and optional admission cap.
 type ScenarioTier = scenario.TierSpec
 
+// ScenarioFleet shards a scenario across independent cluster replicas
+// behind a deterministic front-door router; the shards run concurrently
+// and merge in shard-index order, so output is byte-identical at any
+// worker count (SweepOptions.ShardWorkers).
+type ScenarioFleet = scenario.FleetSpec
+
+// Fleet routing policies: smooth weighted round-robin, least assigned
+// prompt+output tokens, and FNV-1a tenant affinity.
+const (
+	FleetPolicyWeighted    = fleet.PolicyWeighted
+	FleetPolicyLeastLoaded = fleet.PolicyLeastLoaded
+	FleetPolicyAffinity    = fleet.PolicyAffinity
+)
+
+// FleetPolicies lists the routing policies in registration order.
+func FleetPolicies() []string { return fleet.Policies() }
+
 // DefaultSLO is the objective scenarios inherit when they set none.
 var DefaultSLO = scenario.DefaultSLO
 
@@ -475,6 +493,12 @@ const BenchSchemaVersion = bench.SchemaVersion
 // BenchSinkComparison is one sink-mode measurement of the report's
 // exact-vs-streaming section (the recorded O(1)-memory proof).
 type BenchSinkComparison = bench.SinkBench
+
+// BenchFleetScaling is the report's shard-scaling section: the fleet
+// scenario at increasing shard-worker counts, identical merged output on
+// every row (the recorded proof that intra-run parallelism is free of
+// nondeterminism).
+type BenchFleetScaling = bench.FleetScaling
 
 // RunBench times the canonical scenario suite (and micro-benchmarks) and
 // assembles the perf report.

@@ -190,6 +190,7 @@ var deterministicPkgs = []string{
 	"internal/dispatch",
 	"internal/scenario",
 	"internal/metrics",
+	"internal/fleet",
 }
 
 // DeterministicPackage reports whether an import path names one of the

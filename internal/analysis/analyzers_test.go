@@ -13,12 +13,12 @@ import (
 
 func TestMapRange(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.MapRange,
-		"maprange/internal/engine", "maprange/util")
+		"maprange/internal/engine", "maprange/internal/fleet", "maprange/util")
 }
 
 func TestNoGlobalEntropy(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.NoGlobalEntropy,
-		"entropy/internal/dispatch", "entropy/cmdutil")
+		"entropy/internal/dispatch", "entropy/internal/fleet", "entropy/cmdutil")
 }
 
 func TestHandleLifetime(t *testing.T) {

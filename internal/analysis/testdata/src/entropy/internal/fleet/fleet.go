@@ -1,0 +1,22 @@
+// Package fleet exercises the noglobalentropy analyzer on a router shape
+// inside a deterministic package path (suffix internal/fleet): routing
+// decisions must derive from the run seed, never ambient entropy.
+package fleet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func pickShardGlobal(n int) int {
+	return rand.Intn(n) // want `package-level math/rand\.Intn`
+}
+
+func jitterAdmission() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+func pickShardSeeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

@@ -1,0 +1,37 @@
+// Package fleet exercises the maprange analyzer on a front-door-router
+// shape inside a deterministic package path (suffix internal/fleet):
+// routing tables keyed by tenant must never be walked in map order.
+package fleet
+
+import "sort"
+
+type router struct {
+	byTenant map[string]int
+	load     []float64
+}
+
+func (r *router) drainUnordered() []int {
+	var shards []int
+	for _, shard := range r.byTenant { // want `iterates over a map`
+		shards = append(shards, shard)
+	}
+	return shards
+}
+
+func (r *router) tenantsSorted() []string {
+	tenants := make([]string, 0, len(r.byTenant))
+	for t := range r.byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	return tenants
+}
+
+func (r *router) totalPinned() int {
+	n := 0
+	//hetis:ordered pin-count only; the total is independent of order
+	for range r.byTenant {
+		n++
+	}
+	return n
+}

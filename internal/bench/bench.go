@@ -55,6 +55,15 @@ type Options struct {
 	// SinkScenario names the scenario the sink comparison measures
 	// (default megascale — the scenario built to show the bound).
 	SinkScenario string
+	// SkipFleet omits the fleet shard-scaling section.
+	SkipFleet bool
+	// FleetScenario names the sharded scenario the fleet section measures
+	// (default gigascale — the scenario built to show intra-run scaling).
+	FleetScenario string
+	// FleetWorkers lists the shard-worker counts the fleet section sweeps
+	// (default 1, 2, 4, 8). The merged output is identical at every count;
+	// only the wall-clock moves.
+	FleetWorkers []int
 }
 
 // Run executes the harness and assembles the report.
@@ -70,14 +79,15 @@ func Run(opts Options) (*Report, error) {
 	}
 
 	rep := &Report{
-		Schema:    SchemaVersion,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Quick:     opts.Quick,
-		Stream:    opts.Stream,
-		NoWarm:    opts.NoWarm,
+		Schema:     SchemaVersion,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      opts.Quick,
+		Stream:     opts.Stream,
+		NoWarm:     opts.NoWarm,
 	}
 
 	cache := sweep.NewCache()
@@ -87,7 +97,15 @@ func Run(opts Options) (*Report, error) {
 			return nil, err
 		}
 		spec = scenario.Prepare(spec, opts.Quick)
-		results, err := measureScenario(spec, repeat, opts.Stream, opts.NoWarm, cache)
+		// Sharded scenarios cannot run on the single-cluster path (the
+		// trace must be routed and the shards merged), so an explicitly
+		// named fleet scenario measures through the fleet runner instead.
+		var results []ScenarioBench
+		if spec.Sharded() {
+			results, err = measureShardedScenario(spec, repeat, opts.Stream)
+		} else {
+			results, err = measureScenario(spec, repeat, opts.Stream, opts.NoWarm, cache)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -132,6 +150,25 @@ func Run(opts Options) (*Report, error) {
 		}
 		spec = scenario.Prepare(spec, opts.Quick)
 		rep.Sinks, err = measureSinks(spec, cache)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !opts.SkipFleet {
+		name := opts.FleetScenario
+		if name == "" {
+			name = "gigascale"
+		}
+		spec, err := scenario.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		spec = scenario.Prepare(spec, opts.Quick)
+		workers := opts.FleetWorkers
+		if len(workers) == 0 {
+			workers = []int{1, 2, 4, 8}
+		}
+		rep.Fleet, err = measureFleet(spec, workers, repeat)
 		if err != nil {
 			return nil, err
 		}

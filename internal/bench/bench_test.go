@@ -11,7 +11,7 @@ import (
 // TestRunQuickSteady measures one scenario at quick scale and sanity-checks
 // every reported field.
 func TestRunQuickSteady(t *testing.T) {
-	rep, err := Run(Options{Scenarios: []string{"steady"}, Quick: true, SkipMicro: true, SkipSinks: true})
+	rep, err := Run(Options{Scenarios: []string{"steady"}, Quick: true, SkipMicro: true, SkipSinks: true, SkipFleet: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestRunQuickSteady(t *testing.T) {
 // lists scenarios in sorted name order whatever order the caller gives,
 // and defaults to the full registry.
 func TestScenarioSelectionDeterministic(t *testing.T) {
-	rep, err := Run(Options{Scenarios: []string{"steady", "bursty"}, Quick: true, SkipMicro: true, SkipSinks: true})
+	rep, err := Run(Options{Scenarios: []string{"steady", "bursty"}, Quick: true, SkipMicro: true, SkipSinks: true, SkipFleet: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestReportRoundTrip(t *testing.T) {
 // TestRunUnknownScenario surfaces registry misses instead of measuring a
 // partial suite.
 func TestRunUnknownScenario(t *testing.T) {
-	if _, err := Run(Options{Scenarios: []string{"nope"}, Quick: true, SkipMicro: true, SkipSinks: true}); err == nil {
+	if _, err := Run(Options{Scenarios: []string{"nope"}, Quick: true, SkipMicro: true, SkipSinks: true, SkipFleet: true}); err == nil {
 		t.Fatal("expected unknown-scenario error")
 	}
 }
@@ -146,6 +146,7 @@ func TestRunMicro(t *testing.T) {
 		"metrics/summaries-bulk-10k",
 		"metrics/streaming-observe",
 		"trace/append-1m",
+		"trace/pool-contended-8",
 		"metrics/recorder-append-1m",
 	}
 	if len(micros) != len(want) {
@@ -170,11 +171,11 @@ func TestWarmStartDecisionEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale scenario run takes a few seconds")
 	}
-	base, err := Run(Options{Scenarios: []string{"steady"}, NoWarm: true, SkipMicro: true, SkipSinks: true})
+	base, err := Run(Options{Scenarios: []string{"steady"}, NoWarm: true, SkipMicro: true, SkipSinks: true, SkipFleet: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Run(Options{Scenarios: []string{"steady"}, SkipMicro: true, SkipSinks: true})
+	warm, err := Run(Options{Scenarios: []string{"steady"}, SkipMicro: true, SkipSinks: true, SkipFleet: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,6 +233,7 @@ func TestSinkComparison(t *testing.T) {
 		Scenarios:    []string{"steady"},
 		Quick:        true,
 		SkipMicro:    true,
+		SkipFleet:    true,
 		SinkScenario: "steady",
 	})
 	if err != nil {
@@ -252,5 +254,82 @@ func TestSinkComparison(t *testing.T) {
 	}
 	if exact.WallSeconds <= 0 || stream.WallSeconds <= 0 {
 		t.Errorf("empty wall measurements: %+v vs %+v", exact, stream)
+	}
+}
+
+// TestFleetSection checks the shard-scaling section's structure on the
+// cheap registered fleet scenario: one row per requested worker count,
+// identical events and completions on every row (the determinism the
+// section exists to prove), and speedups anchored at the 1-worker row.
+func TestFleetSection(t *testing.T) {
+	rep, err := Run(Options{
+		Scenarios:     []string{"steady"},
+		Quick:         true,
+		SkipMicro:     true,
+		SkipSinks:     true,
+		FleetScenario: "fleet",
+		FleetWorkers:  []int{1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rep.Fleet
+	if fs == nil {
+		t.Fatal("report has no fleet section")
+	}
+	if fs.Scenario != "fleet" || fs.Shards != 4 || fs.Policy != "affinity" {
+		t.Fatalf("fleet section misdescribed: %+v", fs)
+	}
+	if len(fs.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(fs.Rows))
+	}
+	base := fs.Rows[0]
+	if base.ShardWorkers != 1 || base.WallSeconds <= 0 || base.Events == 0 || base.Completed == 0 {
+		t.Fatalf("empty 1-worker row: %+v", base)
+	}
+	if base.SpeedupVs1 != 1 {
+		t.Errorf("1-worker speedup %g want exactly 1", base.SpeedupVs1)
+	}
+	for _, row := range fs.Rows[1:] {
+		if row.Events != base.Events || row.Completed != base.Completed {
+			t.Errorf("worker count changed the simulation: %+v vs %+v", row, base)
+		}
+		if row.SpeedupVs1 <= 0 {
+			t.Errorf("row %d: speedup not computed: %+v", row.ShardWorkers, row)
+		}
+	}
+	if rep.GoMaxProcs <= 0 {
+		t.Errorf("report gomaxprocs = %d", rep.GoMaxProcs)
+	}
+}
+
+// TestShardedScenarioRows pins the suite-row path for an explicitly named
+// fleet scenario: the row must come from the fleet runner (shards and
+// shard_workers recorded) and still carry real measurements.
+func TestShardedScenarioRows(t *testing.T) {
+	rep, err := Run(Options{
+		Scenarios: []string{"fleet"},
+		Quick:     true,
+		SkipMicro: true,
+		SkipSinks: true,
+		SkipFleet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := scenario.ByName("fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(spec.WithDefaults().Engines); len(rep.Suite.Scenarios) != want {
+		t.Fatalf("measured %d pairs want %d", len(rep.Suite.Scenarios), want)
+	}
+	for _, sb := range rep.Suite.Scenarios {
+		if sb.Shards != 4 || sb.ShardWorkers < 1 {
+			t.Errorf("%s/%s: fleet provenance missing: %+v", sb.Scenario, sb.Engine, sb)
+		}
+		if sb.WallSeconds <= 0 || sb.Events == 0 || sb.Completed == 0 {
+			t.Errorf("%s/%s: empty measurement %+v", sb.Scenario, sb.Engine, sb)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"hetis/internal/dispatch"
@@ -38,8 +39,39 @@ func RunMicro() []MicroBench {
 		microResult("metrics/summaries-bulk-10k", benchSummariesBulk),
 		microResult("metrics/streaming-observe", benchStreamingObserve),
 		microResult("trace/append-1m", benchTraceAppend),
+		microResult("trace/pool-contended-8", benchTracePoolContended),
 		microResult("metrics/recorder-append-1m", benchRecorderAppend),
 	}
+}
+
+// benchTracePoolContended hammers the trace-arena page pool from eight
+// goroutines at once — the fleet layer's allocation pattern, where every
+// shard grows and releases its own arena concurrently. Each worker
+// appends 64k events (16 pages) and releases them back, per op. The
+// striped free list keeps the workers on distinct stripes; the old single
+// global mutex made every page grab and give-back a serialization point.
+func benchTracePoolContended(b *testing.B) {
+	const workers = 8
+	trace.ResetPagePool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var log trace.Log
+				for k := 0; k < 64*1024; k++ {
+					log.Add(trace.Event{At: float64(k) * 1e-3, Kind: trace.KindDecode, Request: int64(k)})
+				}
+				log.Release()
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	trace.ResetPagePool()
 }
 
 // benchTraceAppend appends one million events per op through the paged

@@ -10,12 +10,15 @@ import (
 // jobs, plots) must check it before reading fields. Version 2 added the
 // sink-comparison section and the suite's sink mode; version 3 the `lp`
 // solver section (warm starts, phase-1 skips, patched rows, solve time)
-// and the report's no_warm flag. Older documents remain readable (the
-// added fields are absent).
-const SchemaVersion = "hetis-bench/3"
+// and the report's no_warm flag; version 4 the `fleet` shard-scaling
+// section, the header's gomaxprocs, and per-row shard counts. Older
+// documents remain readable (the added fields are absent).
+const SchemaVersion = "hetis-bench/4"
 
 // legacySchemas are older layouts ReadFile still accepts.
-var legacySchemas = map[string]bool{"hetis-bench/1": true, "hetis-bench/2": true}
+var legacySchemas = map[string]bool{
+	"hetis-bench/1": true, "hetis-bench/2": true, "hetis-bench/3": true,
+}
 
 // ScenarioBench is one (scenario, engine) measurement of the canonical
 // suite.
@@ -45,6 +48,12 @@ type ScenarioBench struct {
 	// many simplex solves ran, and how many the caching layer skipped.
 	LPSolves        int `json:"lp_solves"`
 	LPSolvesAvoided int `json:"lp_solves_avoided"`
+	// Shards and ShardWorkers mark a fleet measurement (schema v4): the
+	// scenario ran as Shards independent cluster replicas executed on up to
+	// ShardWorkers concurrent workers. Zero means the classic
+	// single-cluster run.
+	Shards       int `json:"shards,omitempty"`
+	ShardWorkers int `json:"shard_workers,omitempty"`
 	// LPIdealSolves / LPWarmStarts / LPPhase1Skips / LPPatchedRows /
 	// LPSolveSeconds are the warm-start layer's telemetry (schema v3):
 	// ideal-relaxation solves (the warm-startable class), solves answered
@@ -127,6 +136,11 @@ type Report struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the effective parallelism limit of the measuring
+	// process (schema v4). Scaling numbers — the fleet section above all —
+	// are only interpretable against it: num_cpu says what the machine
+	// has, gomaxprocs what the run was allowed to use.
+	GoMaxProcs int `json:"gomaxprocs"`
 	// Quick records whether the suite ran at reduced scale; quick and
 	// full-scale numbers are not comparable.
 	Quick bool `json:"quick"`
@@ -146,6 +160,11 @@ type Report struct {
 	// path swapped — the recorded proof that streaming measurement memory
 	// does not grow with trace length.
 	Sinks []SinkBench `json:"sinks,omitempty"`
+	// Fleet is the shard-scaling section (schema v4): the fleet scenario
+	// measured at increasing shard-worker counts, same merged output every
+	// row — the recorded proof that intra-run parallelism buys wall-clock
+	// without buying nondeterminism.
+	Fleet *FleetScaling `json:"fleet,omitempty"`
 
 	// Baseline carries a reference suite (recorded pre-optimization with
 	// the same harness); SpeedupVsBaseline is

@@ -228,8 +228,8 @@ type Result struct {
 	// mid-flight to admit higher-tier work. Victims are requeued, not
 	// dropped — a preemption costs latency. PreemptedByTenant attributes
 	// the victims (nil when no preemption happened).
-	Preempted          int
-	PreemptedByTenant  map[string]int
+	Preempted         int
+	PreemptedByTenant map[string]int
 	// RecoveryTimes holds, per failure window, the time from the failure
 	// instant to the first completion at or after it — a
 	// service-restoration measure that is ~0 when surviving replicas mask

@@ -1090,7 +1090,6 @@ func (inst *hetisInstance) applyRedispatch(s *sim.Simulator, rd *dispatch.Redisp
 	}
 }
 
-
 // finishDeferred is finish with the sink append batched (see
 // fleetCore.finishDeferred); the iteration loops use it and flush once
 // per batch. The dispatcher/KV release stays inline: later requests in

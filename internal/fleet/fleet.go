@@ -1,0 +1,182 @@
+// Package fleet shards one simulated serving run across N independent
+// cluster replicas behind a front-door router — the layer that turns "one
+// run is one cluster" into "one run is a fleet", and the first place the
+// simulator parallelizes *inside* a single run rather than across runs.
+//
+// The package deliberately contains no execution machinery: it decides,
+// deterministically and entirely at admission time, which shard serves
+// each request (Router), and how each shard derives its private random
+// seed from the run seed (SplitSeed). The scenario layer owns the rest —
+// building one engine per shard, executing the shards concurrently on the
+// sweep worker pool, and merging per-shard results/windows/traces in shard
+// order. Because every routing decision is a pure function of the request
+// sequence (never of completion-order feedback), the merged output is
+// byte-identical at any shard-worker count and any GOMAXPROCS.
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"hetis/internal/workload"
+)
+
+// Routing policies.
+const (
+	// PolicyWeighted is smooth weighted round-robin: shard i receives a
+	// share of requests proportional to its weight, interleaved as evenly
+	// as the weights allow (nginx's SWRR, without the dynamic demotion).
+	PolicyWeighted = "weighted"
+	// PolicyLeastLoaded routes each request to the shard with the least
+	// cumulative assigned work (prompt + output tokens, scaled by shard
+	// weight) at admission time. This is the deterministic stand-in for a
+	// queue-depth balancer: assigned work is known at admission, queue
+	// depth is not knowable without completion feedback.
+	PolicyLeastLoaded = "least-loaded"
+	// PolicyAffinity pins each tenant to a shard by hashing the tenant
+	// name (FNV-1a), so a tenant's requests share one shard's KV cache and
+	// batch. Untenanted requests fall back to weighted round-robin.
+	PolicyAffinity = "affinity"
+)
+
+// Policies lists the routing policies in documentation order.
+func Policies() []string {
+	return []string{PolicyWeighted, PolicyLeastLoaded, PolicyAffinity}
+}
+
+// KnownPolicy reports whether name is a routing policy.
+func KnownPolicy(name string) bool {
+	switch name {
+	case PolicyWeighted, PolicyLeastLoaded, PolicyAffinity:
+		return true
+	}
+	return false
+}
+
+// Router assigns requests to shards under one of the routing policies. A
+// Router is stateful (round-robin counters, cumulative load) and
+// single-goroutine: route one trace through it in arrival order, before
+// any shard executes. It is NOT safe for concurrent use — by construction
+// it never needs to be, since routing completes before execution begins.
+type Router struct {
+	policy  string
+	weights []float64
+	total   float64 // sum of weights
+
+	current []float64 // SWRR per-shard accumulators
+	load    []float64 // least-loaded cumulative assigned tokens
+}
+
+// NewRouter builds a router over `shards` shards. weights may be nil (all
+// shards weigh 1) or one positive weight per shard; they scale both the
+// round-robin share and the least-loaded capacity.
+func NewRouter(policy string, shards int, weights []float64) (*Router, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 shard, got %d", shards)
+	}
+	if !KnownPolicy(policy) {
+		return nil, fmt.Errorf("fleet: unknown routing policy %q (known: %s)", policy, strings.Join(Policies(), ", "))
+	}
+	if weights == nil {
+		weights = make([]float64, shards)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != shards {
+		return nil, fmt.Errorf("fleet: %d weights for %d shards", len(weights), shards)
+	}
+	var total float64
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("fleet: shard %d weight %g must be positive", i, w)
+		}
+		total += w
+	}
+	return &Router{
+		policy:  policy,
+		weights: append([]float64(nil), weights...),
+		total:   total,
+		current: make([]float64, shards),
+		load:    make([]float64, shards),
+	}, nil
+}
+
+// Shards reports the shard count.
+func (r *Router) Shards() int { return len(r.weights) }
+
+// Policy reports the routing policy.
+func (r *Router) Policy() string { return r.policy }
+
+// Route assigns one request to a shard. Decisions depend only on the
+// request sequence routed so far — admission-time state, never execution
+// feedback — so the assignment is reproducible from the trace alone.
+func (r *Router) Route(req workload.Request) int {
+	switch r.policy {
+	case PolicyLeastLoaded:
+		return r.routeLeastLoaded(req)
+	case PolicyAffinity:
+		if req.Tenant != "" {
+			return int(fnv1a(req.Tenant) % uint64(len(r.weights)))
+		}
+		return r.routeSWRR()
+	default: // PolicyWeighted
+		return r.routeSWRR()
+	}
+}
+
+// routeSWRR is one smooth-weighted-round-robin step: every shard gains its
+// weight, the richest shard wins and pays the total back. Ties break to
+// the lowest index.
+func (r *Router) routeSWRR() int {
+	best := 0
+	for i := range r.current {
+		r.current[i] += r.weights[i]
+		if r.current[i] > r.current[best] {
+			best = i
+		}
+	}
+	r.current[best] -= r.total
+	return best
+}
+
+// routeLeastLoaded picks the shard with the smallest weight-scaled
+// cumulative assigned work and charges the request's total tokens to it.
+// Ties break to the lowest index.
+func (r *Router) routeLeastLoaded(req workload.Request) int {
+	best := 0
+	for i := 1; i < len(r.load); i++ {
+		if r.load[i]/r.weights[i] < r.load[best]/r.weights[best] {
+			best = i
+		}
+	}
+	r.load[best] += float64(req.TotalLen())
+	return best
+}
+
+// Partition routes a whole trace and returns one per-shard sub-trace,
+// preserving arrival order within each shard. Every request lands in
+// exactly one shard; the sub-trace lengths sum to len(reqs).
+func (r *Router) Partition(reqs []workload.Request) [][]workload.Request {
+	out := make([][]workload.Request, r.Shards())
+	for _, req := range reqs {
+		s := r.Route(req)
+		out[s] = append(out[s], req)
+	}
+	return out
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined so routing a tenant costs no
+// allocation and no stdlib hashing state.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

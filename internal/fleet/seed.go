@@ -1,0 +1,20 @@
+package fleet
+
+// SplitSeed derives shard `shard`'s private random seed from the run seed
+// with one splitmix64 step over the pair. The mix gives every (run, shard)
+// combination a statistically independent stream while staying a pure
+// function of its inputs, so a shard's seed never depends on how many
+// shards run or in what order they finish — the fleet analogue of the
+// run-seed contract. Shard 0 of a 1-shard fleet still gets a mixed seed,
+// deliberately: a fleet of one is not byte-identical to an unsharded run,
+// it is a fleet whose router happens to have one choice.
+func SplitSeed(runSeed int64, shard int) int64 {
+	// splitmix64 finalizer over the golden-gamma-spaced stream position.
+	z := uint64(runSeed) + (uint64(shard)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -79,8 +79,8 @@ func (c *Recorder) Goodput(slo SLOTarget, horizon float64) float64 {
 // TenantStats is one tenant's slice of a run.
 type TenantStats struct {
 	Tenant     string
-	Count      int // completed requests
-	Dropped    int // dropped requests
+	Count      int     // completed requests
+	Dropped    int     // dropped requests
 	Attainment float64 // attained fraction of (completed + dropped)
 	Goodput    float64 // attained req/s over the horizon
 	TTFT       Summary

@@ -6,7 +6,10 @@
 
 package metrics
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // WindowStat is one time bucket of a WindowedSeries.
 type WindowStat struct {
@@ -60,6 +63,14 @@ type WindowedSeries struct {
 	done   []WindowStat
 	curIdx int
 	cur    *windowAccum
+
+	// retain keeps every bucket's accumulator alive instead of finalizing
+	// closed buckets to floats. Retained series cost O(horizon/window)
+	// sketches but stay mergeable — per-window p95 cannot be recovered from
+	// finalized floats, so the fleet's per-shard series run retained and
+	// merge bucket-wise (see MergeSink).
+	retain bool
+	accums map[int]*windowAccum
 }
 
 // windowAccum is the open bucket under construction.
@@ -84,6 +95,17 @@ func NewWindowedSeries(window float64, slo SLOTarget) *WindowedSeries {
 	return &WindowedSeries{window: window, slo: slo}
 }
 
+// NewWindowedSeriesRetained returns an empty series that keeps every
+// bucket's sketch accumulator alive, so whole series can later be merged
+// with MergeSink. Observe semantics are identical to NewWindowedSeries;
+// only the memory/mergeability trade differs.
+func NewWindowedSeriesRetained(window float64, slo SLOTarget) *WindowedSeries {
+	w := NewWindowedSeries(window, slo)
+	w.retain = true
+	w.accums = map[int]*windowAccum{}
+	return w
+}
+
 // Window reports the bucket width in seconds.
 func (w *WindowedSeries) Window() float64 { return w.window }
 
@@ -105,31 +127,48 @@ func (w *WindowedSeries) Observe(r RequestRecord) {
 	if idx < 0 {
 		idx = 0
 	}
-	if w.cur == nil {
-		w.curIdx = idx
-		w.cur = newWindowAccum()
-	}
-	if idx > w.curIdx {
-		// Close the open bucket, then emit zero rows through any gap so the
-		// series stays contiguous for plotting — without building (and
-		// immediately discarding) sketch accumulators for empty buckets.
-		w.done = append(w.done, w.finalize(w.curIdx, w.cur))
-		for g := w.curIdx + 1; g < idx; g++ {
-			w.done = append(w.done, WindowStat{Start: float64(g) * w.window})
+	var a *windowAccum
+	if w.retain {
+		// Retained buckets never finalize, so there is no open/closed
+		// distinction — just the same straggler clamp as the streaming path.
+		if len(w.accums) > 0 && idx < w.curIdx {
+			idx = w.curIdx
 		}
 		w.curIdx = idx
-		w.cur = newWindowAccum()
+		a = w.accums[idx]
+		if a == nil {
+			a = newWindowAccum()
+			w.accums[idx] = a
+		}
+	} else {
+		if w.cur == nil {
+			w.curIdx = idx
+			w.cur = newWindowAccum()
+		}
+		if idx > w.curIdx {
+			// Close the open bucket, then emit zero rows through any gap so
+			// the series stays contiguous for plotting — without building
+			// (and immediately discarding) sketch accumulators for empty
+			// buckets.
+			w.done = append(w.done, w.finalize(w.curIdx, w.cur))
+			for g := w.curIdx + 1; g < idx; g++ {
+				w.done = append(w.done, WindowStat{Start: float64(g) * w.window})
+			}
+			w.curIdx = idx
+			w.cur = newWindowAccum()
+		}
+		a = w.cur
 	}
 	if dropped {
-		w.cur.dropped++
+		a.dropped++
 		return
 	}
-	w.cur.completions++
+	a.completions++
 	if attained {
-		w.cur.attained++
+		a.attained++
 	}
-	w.cur.ttft.Observe(r.TTFT())
-	w.cur.norm.Observe(r.NormLatency())
+	a.ttft.Observe(r.TTFT())
+	a.norm.Observe(r.NormLatency())
 }
 
 func (w *WindowedSeries) finalize(idx int, a *windowAccum) WindowStat {
@@ -157,6 +196,26 @@ func (w *WindowedSeries) Snapshot() Snapshot {
 // Windows returns the contiguous bucket series including the open bucket;
 // the receiver stays usable for further Observe calls.
 func (w *WindowedSeries) Windows() []WindowStat {
+	if w.retain {
+		if len(w.accums) == 0 {
+			return nil
+		}
+		keys := make([]int, 0, len(w.accums))
+		for k := range w.accums {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		out := make([]WindowStat, 0, keys[len(keys)-1]-keys[0]+1)
+		next := keys[0]
+		for _, k := range keys {
+			for g := next; g < k; g++ {
+				out = append(out, WindowStat{Start: float64(g) * w.window})
+			}
+			out = append(out, w.finalize(k, w.accums[k]))
+			next = k + 1
+		}
+		return out
+	}
 	out := append([]WindowStat(nil), w.done...)
 	if w.cur != nil {
 		out = append(out, w.finalize(w.curIdx, w.cur))

@@ -58,6 +58,13 @@ type Options struct {
 	// (completions, goodput, p95 latency per Window seconds) that
 	// RunEngineSink returns as a second table.
 	Window float64
+
+	// ShardWorkers bounds how many of a sharded (Spec.Fleet) run's shards
+	// execute concurrently; 0 means one worker per CPU (clamped to the
+	// shard count), 1 runs the shards sequentially. Output is byte-
+	// identical at every value — the knob trades wall clock for cores,
+	// never results. Ignored for unsharded specs.
+	ShardWorkers int
 }
 
 // BuildEngine directly constructs the named engine, planning Hetis for the
@@ -116,7 +123,11 @@ type streamPipeline struct {
 	sink    metrics.Sink
 }
 
-func newStreamPipeline(slo metrics.SLOTarget, window float64, tenants bool, tierKey func(metrics.RequestRecord) string) *streamPipeline {
+// retainWindows selects mergeable windowed series for the per-shard
+// pipelines of a fleet run: per-window p95 cannot be recovered from
+// finalized buckets, so shards keep their bucket sketches alive for the
+// shard-order merge. Single-cluster runs keep the cheaper streaming form.
+func newStreamPipeline(slo metrics.SLOTarget, window float64, tenants bool, tierKey func(metrics.RequestRecord) string, retainWindows bool) *streamPipeline {
 	p := &streamPipeline{agg: metrics.NewStreamingSink(slo)}
 	if tenants {
 		p.mux = metrics.NewTenantMux(p.agg, func(string) metrics.Sink {
@@ -126,7 +137,11 @@ func newStreamPipeline(slo metrics.SLOTarget, window float64, tenants bool, tier
 	}
 	extras := make([]metrics.Sink, 0, 2)
 	if window > 0 {
-		p.windows = metrics.NewWindowedSeries(window, slo)
+		if retainWindows {
+			p.windows = metrics.NewWindowedSeriesRetained(window, slo)
+		} else {
+			p.windows = metrics.NewWindowedSeries(window, slo)
+		}
 		extras = append(extras, p.windows)
 	}
 	if tierKey != nil {
@@ -152,6 +167,16 @@ func RunEngineSink(spec Spec, engineName string, opts Options) (rows, windows *m
 	}
 	if !engine.Known(engineName) {
 		return nil, nil, fmt.Errorf("scenario %s: unknown engine %q", spec.Name, engineName)
+	}
+	if spec.Sharded() {
+		fr, err := prepareFleet(spec, engineName, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := fr.Run(opts.ShardWorkers); err != nil {
+			return nil, nil, err
+		}
+		return fr.Tables()
 	}
 	reqs, err := spec.Trace()
 	if err != nil {
@@ -181,7 +206,7 @@ func RunEngineSink(spec Spec, engineName string, opts Options) (rows, windows *m
 		if chaotic && len(spec.Tiers) > 0 {
 			tierKey = func(r metrics.RequestRecord) string { return spec.tierOf(r.Tenant) }
 		}
-		stream = newStreamPipeline(spec.SLO, opts.Window, multiTenant(reqs), tierKey)
+		stream = newStreamPipeline(spec.SLO, opts.Window, multiTenant(reqs), tierKey, false)
 		cfg.Sink = stream.sink
 		cfg.NoTrace = true
 	}

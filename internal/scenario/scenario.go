@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"hetis/internal/engine"
+	"hetis/internal/fleet"
 	"hetis/internal/metrics"
 	"hetis/internal/model"
 	"hetis/internal/workload"
@@ -182,6 +183,31 @@ type TierSpec struct {
 	MaxInflight int
 }
 
+// FleetSpec shards a scenario across independent cluster replicas behind
+// a front-door router (see internal/fleet). Each shard serves its routed
+// slice of the trace on its own engine, calendar queue, trace arena and
+// sink, concurrently with its siblings; the results merge in shard-index
+// order, so the scenario's output is byte-identical at any shard-worker
+// count.
+type FleetSpec struct {
+	// Shards is the replica count (>= 1; 2+ for anything interesting).
+	Shards int
+	// Policy is the routing policy: fleet.PolicyWeighted (the default),
+	// fleet.PolicyLeastLoaded, or fleet.PolicyAffinity.
+	Policy string
+	// Weights optionally skews routing shares, one positive weight per
+	// shard (nil = uniform).
+	Weights []float64
+}
+
+// policy resolves the default routing policy.
+func (f *FleetSpec) policy() string {
+	if f.Policy == "" {
+		return fleet.PolicyWeighted
+	}
+	return f.Policy
+}
+
 // Spec is a declarative serving scenario.
 type Spec struct {
 	Name        string
@@ -219,6 +245,13 @@ type Spec struct {
 	// Tiers splits the tenants into priority classes with admission control
 	// and preemption.
 	Tiers []TierSpec
+
+	// Fleet shards the run across independent cluster replicas behind a
+	// deterministic front-door router — the intra-run parallelism layer.
+	// Mutually exclusive with the chaos fields above: chaos rewires one
+	// cluster's replica set from inside the engine, Fleet replicates whole
+	// clusters from outside it.
+	Fleet *FleetSpec
 
 	// Heavy marks large-scale scenarios (megascale and friends) that
 	// catalog-wide expansions — the bench suite, "-scenario all", the
@@ -297,8 +330,23 @@ func (s Spec) Validate() error {
 	if err := s.chaosConfig().Validate(); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
+	if f := s.Fleet; f != nil {
+		if s.chaosConfig() != nil {
+			return fmt.Errorf("scenario %s: Fleet cannot combine with chaos fields (Replicas/FailurePlan/Autoscale/Tiers) — chaos rewires one cluster, Fleet replicates clusters", s.Name)
+		}
+		// The router constructor owns shard/policy/weight validation.
+		if _, err := fleet.NewRouter(f.policy(), f.Shards, f.Weights); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
 	return nil
 }
+
+// Sharded reports whether the spec runs as a fleet of shards. Sharded
+// scenarios are excluded from SuiteNames like chaotic ones: catalog-wide
+// expansions keep their single-cluster baselines comparable, and fleet
+// scaling is measured by its own bench section.
+func (s Spec) Sharded() bool { return s.Fleet != nil }
 
 // Chaotic reports whether the spec's chaos fields can change behaviour:
 // chaotic scenarios get extra table columns and are excluded from

@@ -1,0 +1,51 @@
+// Package pool is the sweep layer's indexed worker pool, split out so the
+// layers below the sweep (the scenario fleet path shards a single run
+// across it) can share the exact machinery sweeps fan whole runs across —
+// without importing the sweep package itself, which sits above them.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Each runs fn(i) for every index in [0, n) on up to workers goroutines
+// (workers <= 0 means one per CPU; the count is clamped to n so short
+// batches never spin idle goroutines). Every index runs to completion
+// regardless of sibling failures, and fn's per-index results must be
+// written into caller-owned slots so the output layout is independent of
+// scheduling — the contract sweep.RunMany keeps for job tables and the
+// fleet layer keeps for shard results.
+func Each(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -75,9 +75,10 @@ func RunScenariosSink(names []string, quick bool, seed int64, stream bool, windo
 		i := i
 		jobs[i] = Job{Key: p.spec.Name + "/" + p.eng, Run: func(c *Cache) (*metrics.Table, error) {
 			rows, wins, err := scenario.RunEngineSink(p.spec, p.eng, scenario.Options{
-				Build:  scenarioBuilder(c, p.spec),
-				Stream: stream,
-				Window: window,
+				Build:        scenarioBuilder(c, p.spec),
+				Stream:       stream,
+				Window:       window,
+				ShardWorkers: opts.ShardWorkers,
 			})
 			if wins != nil {
 				winMu.Lock()

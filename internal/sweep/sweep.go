@@ -24,9 +24,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"hetis/internal/metrics"
+	"hetis/internal/sweep/pool"
 )
 
 // Options tunes a pool run.
@@ -37,6 +37,11 @@ type Options struct {
 	// Cache is the shared memo for traces, plans and profiles. Nil gives
 	// the run a private cache.
 	Cache *Cache
+	// ShardWorkers bounds the intra-run shard concurrency of sharded
+	// (fleet) scenarios in the batch; 0 means one worker per CPU. Output
+	// is byte-identical at every value — this knob trades wall-clock only.
+	// Unsharded runs ignore it.
+	ShardWorkers int
 }
 
 // workers resolves the effective worker count.
@@ -63,6 +68,11 @@ type Result struct {
 	Err   error
 }
 
+// Each runs fn(i) for every index in [0, n) on up to workers goroutines —
+// the repo's one indexed worker pool, shared with the scenario fleet layer
+// through the pool subpackage (see pool.Each for the full contract).
+func Each(n, workers int, fn func(i int)) { pool.Each(n, workers, fn) }
+
 // RunMany executes the jobs on a bounded worker pool and returns one result
 // per job, sorted by key (ties keep submission order). The slice always has
 // len(jobs) entries; a failed job carries its error in Result.Err. The
@@ -77,27 +87,13 @@ func RunMany(jobs []Job, opts Options) ([]Result, error) {
 		cache = NewCache()
 	}
 	results := make([]Result, len(jobs))
-
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < opts.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				tab, err := jobs[i].Run(cache)
-				if err != nil {
-					err = fmt.Errorf("sweep: job %s: %w", jobs[i].Key, err)
-				}
-				results[i] = Result{Key: jobs[i].Key, Table: tab, Err: err}
-			}
-		}()
-	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	Each(len(jobs), opts.workers(), func(i int) {
+		tab, err := jobs[i].Run(cache)
+		if err != nil {
+			err = fmt.Errorf("sweep: job %s: %w", jobs[i].Key, err)
+		}
+		results[i] = Result{Key: jobs[i].Key, Table: tab, Err: err}
+	})
 
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Key < results[j].Key })
 	var errs []error

@@ -168,14 +168,14 @@ func TestReleaseRecyclesWithoutAliasing(t *testing.T) {
 	// Releasing the second log must zero recycled contents: pooled pages
 	// may not pin the previous run's note strings.
 	second.Release()
-	p := pagePool.free
-	for p != nil {
-		for i := range p.ev {
-			if p.ev[i] != (Event{}) {
-				t.Fatalf("pooled page retains event %+v", p.ev[i])
+	for s := range pagePool {
+		for p := pagePool[s].free; p != nil; p = p.next {
+			for i := range p.ev {
+				if p.ev[i] != (Event{}) {
+					t.Fatalf("pooled page retains event %+v", p.ev[i])
+				}
 			}
 		}
-		p = p.next
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind labels an event type.
@@ -77,46 +78,101 @@ type page struct {
 	ev   [pageEvents]Event
 }
 
-// pagePool is the process-level free list. A mutex (not sync.Pool) keeps
-// reuse deterministic and survivable across GC cycles: concurrent sweep
-// workers contend only once per 4096 events.
-var pagePool struct {
-	sync.Mutex
+// poolStripes splits the process-level free list into independently locked
+// stripes. One mutex was fine when only sweep workers touched the pool
+// (one lock per 4096 events per run); a sharded fleet run puts 8+ arenas
+// through it concurrently, and the single lock became the one line every
+// shard serializes on. Each Log is pinned round-robin to a home stripe, so
+// steady-state shard workloads never share a lock; getPage steals and
+// Release spills across stripes, keeping the pool's total behaviour (and
+// its cap) identical to the unstriped version.
+const poolStripes = 8
+
+// stripeCapPages bounds each stripe so the whole pool still retains at
+// most poolCapPages pages.
+const stripeCapPages = poolCapPages / poolStripes
+
+// poolStripe is one lock's worth of free list, padded out so neighbouring
+// stripes never share a cache line (the lock word would otherwise bounce
+// between shard cores exactly like the single mutex it replaces).
+type poolStripe struct {
+	mu   sync.Mutex
 	free *page
 	n    int
+	_    [64 - (8+8+8)%64]byte
 }
 
-// getPage pops a pooled page or allocates a fresh one.
-func getPage() *page {
-	pagePool.Lock()
-	p := pagePool.free
+var pagePool [poolStripes]poolStripe
+
+// logStripeCounter deals home stripes to logs round-robin. Stripe choice
+// is scheduling-visible but simulation-invisible: pages are zeroed on
+// release, so which stripe recycled a page can never change an event.
+var logStripeCounter atomic.Uint32
+
+// pop takes one page off the stripe (nil when empty).
+func (st *poolStripe) pop() *page {
+	st.mu.Lock()
+	p := st.free
 	if p != nil {
-		pagePool.free = p.next
-		pagePool.n--
+		st.free = p.next
+		st.n--
 	}
-	pagePool.Unlock()
-	if p == nil {
-		return new(page)
+	st.mu.Unlock()
+	if p != nil {
+		p.next = nil
 	}
-	p.next = nil
 	return p
+}
+
+// push prepends pages from the chain until the stripe is full, returning
+// the rest of the chain.
+func (st *poolStripe) push(p *page) *page {
+	st.mu.Lock()
+	for p != nil && st.n < stripeCapPages {
+		next := p.next
+		p.next = st.free
+		st.free = p
+		st.n++
+		p = next
+	}
+	st.mu.Unlock()
+	return p
+}
+
+// getPage pops a page from the home stripe, steals from the others when it
+// is empty, and allocates fresh only when the whole pool is dry.
+func getPage(home int) *page {
+	for i := 0; i < poolStripes; i++ {
+		if p := pagePool[(home+i)%poolStripes].pop(); p != nil {
+			return p
+		}
+	}
+	return new(page)
 }
 
 // ResetPagePool drops every pooled page so the garbage collector can
 // reclaim them. Memory measurements call it to keep retained pool pages
 // out of live-heap baselines; ordinary code never needs it.
 func ResetPagePool() {
-	pagePool.Lock()
-	pagePool.free = nil
-	pagePool.n = 0
-	pagePool.Unlock()
+	for i := range pagePool {
+		st := &pagePool[i]
+		st.mu.Lock()
+		st.free = nil
+		st.n = 0
+		st.mu.Unlock()
+	}
 }
 
-// pagePoolLen reports the pooled page count (test hook).
+// pagePoolLen reports the pooled page count across stripes (test hook).
 func pagePoolLen() int {
-	pagePool.Lock()
-	defer pagePool.Unlock()
-	return pagePool.n
+	n := 0
+	for i := range pagePool {
+		st := &pagePool[i]
+		st.mu.Lock()
+		n += st.n
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // Log accumulates events in memory. The zero value is ready to use. A nil
@@ -125,11 +181,23 @@ type Log struct {
 	head *page
 	tail *page
 	n    int
+	// stripe is the log's home pool stripe plus one (0 = not yet assigned,
+	// so the zero value stays ready to use). Assigned at first grow and
+	// kept across Release so a reused log stays on its stripe.
+	stripe uint32
+}
+
+// homeStripe resolves (lazily assigning) the log's pool stripe.
+func (l *Log) homeStripe() int {
+	if l.stripe == 0 {
+		l.stripe = logStripeCounter.Add(1)%poolStripes + 1
+	}
+	return int(l.stripe - 1)
 }
 
 // grow links a fresh (or recycled) page at the tail.
 func (l *Log) grow() *page {
-	p := getPage()
+	p := getPage(l.homeStripe())
 	if l.tail == nil {
 		l.head = p
 	} else {
@@ -181,16 +249,14 @@ func (l *Log) Release() {
 		clear(p.ev[:p.n])
 		p.n = 0
 	}
+	home := l.homeStripe()
 	l.head, l.tail, l.n = nil, nil, 0
-	pagePool.Lock()
-	for p := head; p != nil && pagePool.n < poolCapPages; {
-		next := p.next
-		p.next = pagePool.free
-		pagePool.free = p
-		pagePool.n++
-		p = next
+	// Fill the home stripe first, spill the rest round-robin; whatever the
+	// whole pool cannot hold is left for the GC.
+	p := head
+	for i := 0; i < poolStripes && p != nil; i++ {
+		p = pagePool[(home+i)%poolStripes].push(p)
 	}
-	pagePool.Unlock()
 }
 
 // Each calls fn for every event in emission order, stopping early when fn
